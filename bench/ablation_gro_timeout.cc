@@ -1,0 +1,56 @@
+// Ablation: Presto GRO's adaptive (alpha * EWMA) hold timeout vs a static
+// 10 ms timeout (the prior-work setting the paper criticizes in §3.2) vs a
+// hair-trigger static 50 us timeout.
+//
+// Expectation: the static 10 ms timeout masks reordering but delays
+// boundary-gap *loss* recovery (tail FCT); the 50 us timeout misfires on
+// reordering and exposes TCP to spurious recoveries; the adaptive EWMA gets
+// both right.
+
+#include "bench_util.h"
+
+using namespace presto;
+using namespace presto::bench;
+
+int main() {
+  harness::RunOptions opt;
+  opt.warmup = 100 * sim::kMillisecond;
+  opt.measure = 400 * sim::kMillisecond;
+  opt.mice = true;
+  opt.mice_interval = 5 * sim::kMillisecond;
+
+  struct Variant {
+    const char* name;
+    double alpha;
+    sim::Time initial;
+    double gain_up, gain_down;  // zero gains freeze the EWMA (static timeout)
+  };
+  const Variant variants[] = {
+      {"adaptive(a=2)", 2.0, 100 * sim::kMicrosecond, 0.5, 0.03},
+      {"static 10ms", 1.0, 10 * sim::kMillisecond, 0.0, 0.0},
+      {"static 50us", 1.0, 50 * sim::kMicrosecond, 0.0, 0.0},
+  };
+
+  std::printf("Ablation: Presto GRO hold-timeout policy, stride(8)\n");
+  std::printf("%-14s %10s %12s %12s %12s\n", "variant", "tput Gbps",
+              "FCT p50 ms", "FCT p99 ms", "FCT p99.9 ms");
+  for (const Variant& v : variants) {
+    harness::ExperimentConfig cfg;
+    cfg.scheme = harness::Scheme::kPresto;
+    cfg.host.presto_gro.alpha = v.alpha;
+    cfg.host.presto_gro.initial_ewma = v.initial;
+    cfg.host.presto_gro.ewma_gain_up = v.gain_up;
+    cfg.host.presto_gro.ewma_gain_down = v.gain_down;
+    if (v.gain_up == 0.0) {
+      // Static: pin the floor/ceiling to the configured value too.
+      cfg.host.presto_gro.min_ewma = v.initial;
+      cfg.host.presto_gro.max_ewma = v.initial;
+    }
+    const MultiRun r = run_seeds(cfg, stride_factory(16, 8), opt);
+    std::printf("%-14s %10.2f %12.2f %12.2f %12.2f\n", v.name,
+                r.avg_tput_gbps, r.fct_ms.percentile(50),
+                r.fct_ms.percentile(99), r.fct_ms.percentile(99.9));
+    std::fflush(stdout);
+  }
+  return 0;
+}

@@ -1,0 +1,111 @@
+// Shared helpers for the per-figure benchmark binaries.
+//
+// Every benchmark prints the same rows/series the paper reports, averaged
+// over several seeds (the paper averages 20 runs; we default to 3 to keep
+// wall-clock time reasonable — override with PRESTO_BENCH_SEEDS).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "harness/runners.h"
+#include "stats/samples.h"
+
+namespace presto::bench {
+
+/// Number of seeds per data point (env PRESTO_BENCH_SEEDS, default 3).
+inline int seed_count() {
+  if (const char* env = std::getenv("PRESTO_BENCH_SEEDS")) {
+    const int n = std::atoi(env);
+    if (n > 0) return n;
+  }
+  return 3;
+}
+
+/// Scales run lengths (env PRESTO_BENCH_TIME_SCALE, default 1.0): smaller
+/// values make every benchmark proportionally quicker for smoke runs.
+inline double time_scale() {
+  if (const char* env = std::getenv("PRESTO_BENCH_TIME_SCALE")) {
+    const double s = std::atof(env);
+    if (s > 0) return s;
+  }
+  return 1.0;
+}
+
+inline sim::Time scaled(sim::Time t) {
+  return static_cast<sim::Time>(static_cast<double>(t) * time_scale());
+}
+
+/// Aggregate of several seeded runs of one experiment point.
+struct MultiRun {
+  double avg_tput_gbps = 0;
+  double fairness = 0;
+  double loss_pct = 0;
+  stats::Samples rtt_ms;
+  stats::Samples fct_ms;
+  std::uint64_t mice_timeouts = 0;
+  std::vector<harness::RunResult> runs;
+};
+
+/// Runs `pairs_of(seeded experiment)` over several seeds and merges results.
+template <typename PairsFn>
+MultiRun run_seeds(harness::ExperimentConfig cfg, PairsFn pairs_of,
+                   harness::RunOptions opt) {
+  MultiRun agg;
+  const int n = seed_count();
+  opt.warmup = scaled(opt.warmup);
+  opt.measure = scaled(opt.measure);
+  for (int s = 0; s < n; ++s) {
+    cfg.seed = 1000 + 77 * s;
+    const harness::RunResult r =
+        harness::run_pairs(cfg, pairs_of(cfg.seed), opt);
+    agg.avg_tput_gbps += r.avg_tput_gbps / n;
+    agg.fairness += r.fairness / n;
+    agg.loss_pct += r.loss_pct / n;
+    agg.rtt_ms.merge(r.rtt_ms);
+    agg.fct_ms.merge(r.fct_ms);
+    agg.mice_timeouts += r.mice_timeouts;
+    agg.runs.push_back(r);
+  }
+  return agg;
+}
+
+/// Stride pairs factory bound to a host count/stride.
+inline auto stride_factory(std::uint32_t n, std::uint32_t k) {
+  return [n, k](std::uint64_t) { return workload::stride_pairs(n, k); };
+}
+
+/// Prints a short CDF table (the paper's CDFs) for several labelled sample
+/// sets side by side.
+inline void print_cdf_table(
+    const std::string& title, const std::string& unit,
+    const std::vector<std::pair<std::string, const stats::Samples*>>& series) {
+  std::printf("\n%s (%s; CDF percentiles)\n", title.c_str(), unit.c_str());
+  std::printf("%-10s", "pct");
+  for (const auto& [name, _] : series) std::printf(" %12s", name.c_str());
+  std::printf("\n");
+  for (double p : {10.0, 25.0, 50.0, 75.0, 90.0, 95.0, 99.0, 99.9}) {
+    std::printf("p%-9.1f", p);
+    for (const auto& [_, samples] : series) {
+      std::printf(" %12.3f", samples->percentile(p));
+    }
+    std::printf("\n");
+  }
+  std::printf("%-10s", "samples");
+  for (const auto& [_, samples] : series) {
+    std::printf(" %12zu", samples->count());
+  }
+  std::printf("\n");
+}
+
+/// All four headline schemes compared in the paper's evaluation.
+inline const std::vector<harness::Scheme>& headline_schemes() {
+  static const std::vector<harness::Scheme> kSchemes = {
+      harness::Scheme::kEcmp, harness::Scheme::kMptcp,
+      harness::Scheme::kPresto, harness::Scheme::kOptimal};
+  return kSchemes;
+}
+
+}  // namespace presto::bench

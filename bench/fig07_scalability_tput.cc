@@ -1,0 +1,39 @@
+// Figure 7: average elephant throughput vs path count (2-8 spines) on the
+// scalability topology (Figure 4a: 2 leaves, one flow per path).
+//
+// Paper result: Presto tracks the non-blocking Optimal closely at every
+// path count; ECMP (and MPTCP subflows) lose throughput to hash collisions.
+
+#include "bench_util.h"
+
+using namespace presto;
+using namespace presto::bench;
+
+int main() {
+  harness::RunOptions opt;
+  opt.warmup = 100 * sim::kMillisecond;
+  opt.measure = 400 * sim::kMillisecond;
+
+  std::printf("Figure 7: avg flow throughput (Gbps) vs path count\n");
+  std::printf("%-6s %10s %10s %10s %10s\n", "paths", "ECMP", "MPTCP",
+              "Presto", "Optimal");
+  for (std::uint32_t paths = 2; paths <= 8; ++paths) {
+    std::printf("%-6u", paths);
+    for (harness::Scheme scheme : headline_schemes()) {
+      harness::ExperimentConfig cfg;
+      cfg.scheme = scheme;
+      cfg.spines = paths;
+      cfg.leaves = 2;
+      cfg.hosts_per_leaf = paths;  // one host pair per path
+      // One unidirectional flow per path: host i (leaf 1) -> host paths+i.
+      std::vector<workload::HostPair> pairs;
+      for (std::uint32_t i = 0; i < paths; ++i) pairs.emplace_back(i, paths + i);
+      const MultiRun r =
+          run_seeds(cfg, [&](std::uint64_t) { return pairs; }, opt);
+      std::printf(" %10.2f", r.avg_tput_gbps);
+      std::fflush(stdout);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,37 @@
+// Figure 8: round-trip time CDF in the scalability benchmark (8 paths).
+//
+// Paper result: Presto's RTT tracks Optimal; ECMP has the worst tail
+// because collided flows queue behind each other.
+
+#include "bench_util.h"
+
+using namespace presto;
+using namespace presto::bench;
+
+int main() {
+  constexpr std::uint32_t kPaths = 8;
+  harness::RunOptions opt;
+  opt.warmup = 100 * sim::kMillisecond;
+  opt.measure = 400 * sim::kMillisecond;
+  opt.rtt_probes = true;
+
+  std::vector<workload::HostPair> pairs;
+  for (std::uint32_t i = 0; i < kPaths; ++i) pairs.emplace_back(i, kPaths + i);
+
+  std::vector<MultiRun> results;
+  for (harness::Scheme scheme : headline_schemes()) {
+    harness::ExperimentConfig cfg;
+    cfg.scheme = scheme;
+    cfg.spines = kPaths;
+    cfg.leaves = 2;
+    cfg.hosts_per_leaf = kPaths;
+    results.push_back(run_seeds(cfg, [&](std::uint64_t) { return pairs; },
+                                opt));
+  }
+  print_cdf_table("Figure 8: RTT in scalability benchmark (8 paths)", "ms",
+                  {{"ECMP", &results[0].rtt_ms},
+                   {"MPTCP", &results[1].rtt_ms},
+                   {"Presto", &results[2].rtt_ms},
+                   {"Optimal", &results[3].rtt_ms}});
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Figure 9: (a) loss rate and (b) Jain fairness index vs path count in the
+// scalability benchmark.
+//
+// Paper result: Presto and Optimal are loss-free; MPTCP loses the most
+// (bursty subflows); Presto/MPTCP/Optimal achieve near-perfect fairness
+// while ECMP is unfair under collisions.
+
+#include "bench_util.h"
+
+using namespace presto;
+using namespace presto::bench;
+
+int main() {
+  harness::RunOptions opt;
+  opt.warmup = 100 * sim::kMillisecond;
+  opt.measure = 400 * sim::kMillisecond;
+
+  std::printf(
+      "Figure 9: loss%% (a) and fairness (b) vs path count\n"
+      "%-6s | %9s %9s %9s %9s | %8s %8s %8s %8s\n",
+      "paths", "ECMP", "MPTCP", "Presto", "Optimal", "ECMP", "MPTCP",
+      "Presto", "Optimal");
+  for (std::uint32_t paths = 2; paths <= 8; paths += 2) {
+    std::vector<double> loss, fair;
+    for (harness::Scheme scheme : headline_schemes()) {
+      harness::ExperimentConfig cfg;
+      cfg.scheme = scheme;
+      cfg.spines = paths;
+      cfg.leaves = 2;
+      cfg.hosts_per_leaf = paths;
+      std::vector<workload::HostPair> pairs;
+      for (std::uint32_t i = 0; i < paths; ++i) {
+        pairs.emplace_back(i, paths + i);
+      }
+      const MultiRun r =
+          run_seeds(cfg, [&](std::uint64_t) { return pairs; }, opt);
+      loss.push_back(r.loss_pct);
+      fair.push_back(r.fairness);
+      std::fflush(stdout);
+    }
+    std::printf("%-6u | %9.4f %9.4f %9.4f %9.4f | %8.3f %8.3f %8.3f %8.3f\n",
+                paths, loss[0], loss[1], loss[2], loss[3], fair[0], fair[1],
+                fair[2], fair[3]);
+  }
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Figure 12: (a) loss rate and (b) fairness vs oversubscription ratio.
+//
+// Paper result: MPTCP has the highest loss at every ratio; Presto and MPTCP
+// stay near-perfectly fair while ECMP's fairness dips at low ratios.
+
+#include "bench_util.h"
+
+using namespace presto;
+using namespace presto::bench;
+
+int main() {
+  harness::RunOptions opt;
+  opt.warmup = 100 * sim::kMillisecond;
+  opt.measure = 400 * sim::kMillisecond;
+
+  std::printf(
+      "Figure 12: loss%% (a) and fairness (b) vs oversubscription ratio\n"
+      "%-8s | %9s %9s %9s | %8s %8s %8s\n",
+      "ratio", "ECMP", "MPTCP", "Presto", "ECMP", "MPTCP", "Presto");
+  for (std::uint32_t pairs_n = 2; pairs_n <= 8; pairs_n += 2) {
+    std::vector<double> loss, fair;
+    for (harness::Scheme scheme :
+         {harness::Scheme::kEcmp, harness::Scheme::kMptcp,
+          harness::Scheme::kPresto}) {
+      harness::ExperimentConfig cfg;
+      cfg.scheme = scheme;
+      cfg.spines = 2;
+      cfg.leaves = 2;
+      cfg.hosts_per_leaf = pairs_n;
+      std::vector<workload::HostPair> pairs;
+      for (std::uint32_t i = 0; i < pairs_n; ++i) {
+        pairs.emplace_back(i, pairs_n + i);
+      }
+      const MultiRun r =
+          run_seeds(cfg, [&](std::uint64_t) { return pairs; }, opt);
+      loss.push_back(r.loss_pct);
+      fair.push_back(r.fairness);
+      std::fflush(stdout);
+    }
+    std::printf("%-8.1f | %9.4f %9.4f %9.4f | %8.3f %8.3f %8.3f\n",
+                pairs_n / 2.0, loss[0], loss[1], loss[2], fair[0], fair[1],
+                fair[2]);
+  }
+  return 0;
+}

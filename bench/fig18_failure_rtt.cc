@@ -1,0 +1,71 @@
+// Figure 18: Presto RTT CDFs in the symmetry / failover / weighted stages of
+// the link-failure experiment, random bijection workload.
+//
+// Paper result: after the S1-L1 failure the network is no longer
+// non-blocking, so the failover and weighted stages shift the RTT
+// distribution right relative to symmetry.
+
+#include <memory>
+
+#include "bench_util.h"
+
+using namespace presto;
+using namespace presto::bench;
+
+int main() {
+  stats::Samples symmetry, failover, weighted;
+
+  for (int s = 0; s < seed_count(); ++s) {
+    harness::ExperimentConfig cfg;
+    cfg.scheme = harness::Scheme::kPresto;
+    cfg.seed = 9100 + 7 * s;
+    cfg.controller.failover_detect_delay = 5 * sim::kMillisecond;
+    cfg.controller.controller_react_delay = 200 * sim::kMillisecond;
+    harness::Experiment ex(cfg);
+    sim::Rng rng = ex.fork_rng();
+    auto pod = [](net::HostId h) { return net::SwitchId{h / 4}; };
+    const auto pairs = workload::random_bijection(16, pod, rng);
+
+    std::vector<workload::ElephantApp*> els;
+    for (const auto& [src, dst] : pairs) {
+      els.push_back(&ex.add_elephant(src, dst, 0));
+    }
+
+    const sim::Time warmup = scaled(100 * sim::kMillisecond);
+    const sim::Time fail_at = warmup + scaled(150 * sim::kMillisecond);
+    const auto tl = ex.ctl().schedule_link_failure(
+        ex.topo().leaves()[0], ex.topo().spines()[0], 0, fail_at);
+    const sim::Time stop = tl.weighted + scaled(200 * sim::kMillisecond);
+
+    // RTT probes tagged by the stage in which they were issued.
+    std::vector<std::unique_ptr<workload::PeriodicRpcApp>> probes;
+    std::size_t i = 0;
+    for (const auto& [src, dst] : pairs) {
+      auto& rpc = ex.open_rpc(src, dst);
+      auto app = std::make_unique<workload::PeriodicRpcApp>(
+          ex.sim(), rpc, 64, sim::kMillisecond,
+          sim::kMicrosecond * static_cast<sim::Time>(60 * ++i), stop,
+          /*ping_pong=*/true);
+      app->set_on_sample([&, tl, warmup](sim::Time issued, sim::Time fct) {
+        const double ms = sim::to_millis(fct);
+        if (issued >= warmup && issued < tl.failed) {
+          symmetry.add(ms);
+        } else if (issued >= tl.failover + 5 * sim::kMillisecond &&
+                   issued < tl.weighted) {
+          failover.add(ms);
+        } else if (issued >= tl.weighted + 10 * sim::kMillisecond) {
+          weighted.add(ms);
+        }
+      });
+      probes.push_back(std::move(app));
+    }
+    ex.sim().run_until(stop);
+  }
+
+  print_cdf_table(
+      "Figure 18: Presto RTT by failure stage (random bijection)", "ms",
+      {{"Symmetry", &symmetry},
+       {"Failover", &failover},
+       {"Weighted", &weighted}});
+  return 0;
+}

@@ -1,0 +1,147 @@
+// Micro-benchmarks (google-benchmark): per-operation cost of the hot paths
+// the paper argues must be cheap — flowcell creation in the vSwitch (§5:
+// "Presto needs just two memcpy operations"), GRO merge/flush, TSO split,
+// and the SACK scoreboard.
+
+#include <benchmark/benchmark.h>
+
+#include "core/flowcell_engine.h"
+#include "core/label_map.h"
+#include "offload/official_gro.h"
+#include "offload/presto_gro.h"
+#include "offload/tso.h"
+#include "sim/rng.h"
+#include "tcp/range_set.h"
+
+namespace {
+
+using namespace presto;
+
+net::Packet make_segment(std::uint64_t seq, std::uint32_t payload,
+                         std::uint64_t fc = 1) {
+  net::Packet p;
+  p.flow = net::FlowKey{0, 1, 10000, 80};
+  p.src_host = 0;
+  p.dst_host = 1;
+  p.seq = seq;
+  p.payload = payload;
+  p.flowcell_id = fc;
+  p.dst_mac = net::real_mac(1);
+  return p;
+}
+
+void BM_FlowcellEngine(benchmark::State& state) {
+  core::LabelMap map;
+  std::vector<net::MacAddr> labels;
+  for (std::uint32_t t = 0; t < 8; ++t) labels.push_back(net::shadow_mac(1, t));
+  map.set_schedule(1, labels);
+  core::FlowcellEngine lb(map);
+  std::uint64_t seq = 0;
+  for (auto _ : state) {
+    net::Packet p = make_segment(seq, 65536);
+    lb.on_segment(p);
+    benchmark::DoNotOptimize(p.dst_mac);
+    seq += 65536;
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          65536);
+}
+BENCHMARK(BM_FlowcellEngine);
+
+void BM_TsoSplit(benchmark::State& state) {
+  std::vector<net::Packet> out;
+  out.reserve(64);
+  std::uint64_t seq = 0;
+  for (auto _ : state) {
+    out.clear();
+    offload::tso_split(make_segment(seq, 65536), out);
+    benchmark::DoNotOptimize(out.data());
+    seq += 65536;
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          65536);
+}
+BENCHMARK(BM_TsoSplit);
+
+void BM_OfficialGroInOrder(benchmark::State& state) {
+  offload::OfficialGro gro([](offload::Segment) {});
+  std::uint64_t seq = 0;
+  sim::Time now = 0;
+  for (auto _ : state) {
+    for (int i = 0; i < 42; ++i) {
+      gro.on_packet(make_segment(seq, 1448), now);
+      seq += 1448;
+    }
+    gro.flush(now);
+    now += 30'000;
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * 42 *
+                          1448);
+}
+BENCHMARK(BM_OfficialGroInOrder);
+
+void BM_PrestoGroInOrder(benchmark::State& state) {
+  offload::PrestoGro gro([](offload::Segment) {});
+  std::uint64_t seq = 0, fc = 1;
+  sim::Time now = 0;
+  for (auto _ : state) {
+    for (int i = 0; i < 42; ++i) {
+      gro.on_packet(make_segment(seq, 1448, fc), now);
+      seq += 1448;
+    }
+    gro.flush(now);
+    ++fc;
+    now += 30'000;
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * 42 *
+                          1448);
+}
+BENCHMARK(BM_PrestoGroInOrder);
+
+void BM_PrestoGroReordered(benchmark::State& state) {
+  // Two interleaved flowcell streams: exercises the multi-segment list.
+  offload::PrestoGro gro([](offload::Segment) {});
+  sim::Time now = 0;
+  std::uint64_t base = 0;
+  for (auto _ : state) {
+    // Flowcell B (later seq range) arrives before flowcell A's tail.
+    for (int i = 0; i < 21; ++i) {
+      gro.on_packet(make_segment(base + i * 1448, 1448, base / 60816 + 1),
+                    now);
+    }
+    for (int i = 0; i < 21; ++i) {
+      gro.on_packet(
+          make_segment(base + 60816 + i * 1448, 1448, base / 60816 + 2),
+          now);
+    }
+    for (int i = 21; i < 42; ++i) {
+      gro.on_packet(make_segment(base + i * 1448, 1448, base / 60816 + 1),
+                    now);
+    }
+    gro.flush(now);
+    base += 2 * 60816;
+    now += 30'000;
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * 63 *
+                          1448);
+}
+BENCHMARK(BM_PrestoGroReordered);
+
+void BM_RangeSetAdd(benchmark::State& state) {
+  sim::Rng rng(1);
+  for (auto _ : state) {
+    state.PauseTiming();
+    tcp::RangeSet rs;
+    state.ResumeTiming();
+    for (int i = 0; i < 64; ++i) {
+      const std::uint64_t a = rng.below(1'000'000);
+      rs.add(a, a + 1448);
+    }
+    benchmark::DoNotOptimize(rs.size());
+  }
+}
+BENCHMARK(BM_RangeSetAdd);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,49 @@
+// Quickstart: build the paper's Figure-3 testbed (4 spines x 4 leaves x 16
+// hosts, 10 GbE), run a stride(8) workload under Presto, and print per-flow
+// elephant throughput plus probe RTTs.
+//
+// Usage: quickstart [scheme]
+//   scheme: presto (default) | ecmp | mptcp | optimal | flowlet
+
+#include <cstdio>
+#include <cstring>
+
+#include "harness/runners.h"
+
+using namespace presto;
+
+int main(int argc, char** argv) {
+  harness::ExperimentConfig cfg;
+  cfg.scheme = harness::Scheme::kPresto;
+  if (argc > 1) {
+    if (std::strcmp(argv[1], "ecmp") == 0) cfg.scheme = harness::Scheme::kEcmp;
+    if (std::strcmp(argv[1], "mptcp") == 0)
+      cfg.scheme = harness::Scheme::kMptcp;
+    if (std::strcmp(argv[1], "optimal") == 0)
+      cfg.scheme = harness::Scheme::kOptimal;
+    if (std::strcmp(argv[1], "flowlet") == 0)
+      cfg.scheme = harness::Scheme::kFlowlet;
+  }
+
+  harness::RunOptions opt;
+  opt.warmup = 50 * sim::kMillisecond;
+  opt.measure = 200 * sim::kMillisecond;
+  opt.rtt_probes = true;
+
+  const auto pairs =
+      workload::stride_pairs(cfg.leaves * cfg.hosts_per_leaf, 8);
+  std::printf("Scheme: %s  (stride(8), 16 hosts, 2-tier Clos)\n",
+              harness::scheme_name(cfg.scheme));
+  const harness::RunResult r = harness::run_pairs(cfg, pairs, opt);
+
+  std::printf("per-flow throughput (Gbps):");
+  for (double t : r.per_flow_gbps) std::printf(" %.2f", t);
+  std::printf("\navg throughput: %.2f Gbps   fairness: %.3f   loss: %.4f%%\n",
+              r.avg_tput_gbps, r.fairness, r.loss_pct);
+  if (!r.rtt_ms.empty()) {
+    std::printf("RTT p50/p99/p99.9: %.3f / %.3f / %.3f ms (%zu probes)\n",
+                r.rtt_ms.percentile(50), r.rtt_ms.percentile(99),
+                r.rtt_ms.percentile(99.9), r.rtt_ms.count());
+  }
+  return 0;
+}

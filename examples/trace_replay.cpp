@@ -1,0 +1,96 @@
+// Trace-style datacenter workload demo: replays an IMC'09-shaped flow-size
+// distribution (scaled x10, as in §6) over persistent cross-rack
+// connections under a chosen scheme, then prints FCT statistics by flow
+// size class — the slice of data behind Table 1.
+//
+// Usage: trace_replay [scheme] [seconds]
+//   scheme: presto (default) | ecmp | optimal
+
+#include <cstdio>
+#include <cstring>
+#include <map>
+
+#include "harness/experiment.h"
+#include "stats/samples.h"
+#include "workload/trace_dist.h"
+
+using namespace presto;
+
+int main(int argc, char** argv) {
+  harness::ExperimentConfig cfg;
+  cfg.scheme = harness::Scheme::kPresto;
+  if (argc > 1 && std::strcmp(argv[1], "ecmp") == 0) {
+    cfg.scheme = harness::Scheme::kEcmp;
+  }
+  if (argc > 1 && std::strcmp(argv[1], "optimal") == 0) {
+    cfg.scheme = harness::Scheme::kOptimal;
+  }
+  const double seconds = argc > 2 ? std::atof(argv[2]) : 0.5;
+
+  harness::Experiment ex(cfg);
+  sim::Rng rng = ex.fork_rng();
+  workload::TraceFlowDist dist(10.0);
+  std::printf("Scheme %s: trace-driven workload, mean flow %.1f KB x16 hosts,"
+              " %.1f s\n",
+              harness::scheme_name(cfg.scheme), dist.mean_bytes() / 1e3,
+              seconds);
+
+  std::map<std::pair<net::HostId, net::HostId>, workload::RpcChannel*> chans;
+  struct Bucket {
+    const char* name;
+    std::uint64_t lo, hi;
+    stats::Samples fct_ms;
+  };
+  auto buckets = std::make_shared<std::vector<Bucket>>(std::vector<Bucket>{
+      {"mice   <100KB", 0, 100'000, {}},
+      {"medium <1MB", 100'000, 1'000'000, {}},
+      {"elephant>1MB", 1'000'000, UINT64_MAX, {}},
+  });
+
+  const auto stop = static_cast<sim::Time>(seconds * 1e9);
+  const double mean_gap_s = dist.mean_bytes() * 8.0 / 2.5e9;
+  for (net::HostId src : ex.servers()) {
+    auto tick = std::make_shared<std::function<void()>>();
+    auto host_rng = std::make_shared<sim::Rng>(rng.fork());
+    *tick = [&, src, tick, host_rng, stop, buckets] {
+      if (ex.sim().now() >= stop) return;
+      net::HostId dst;
+      do {
+        dst = static_cast<net::HostId>(host_rng->below(16));
+      } while (dst == src || ex.logical_pod(dst) == ex.logical_pod(src));
+      auto key = std::make_pair(src, dst);
+      if (!chans.count(key)) chans[key] = &ex.open_rpc(src, dst);
+      const std::uint64_t bytes = dist.sample(*host_rng);
+      chans[key]->issue(bytes, [bytes, buckets](sim::Time fct) {
+        for (Bucket& b : *buckets) {
+          if (bytes >= b.lo && bytes < b.hi) {
+            b.fct_ms.add(sim::to_millis(fct));
+          }
+        }
+      });
+      ex.sim().schedule(
+          static_cast<sim::Time>(host_rng->exponential(mean_gap_s) * 1e9),
+          [tick] { (*tick)(); });
+    };
+    ex.sim().schedule(static_cast<sim::Time>(rng.below(1000)) *
+                          sim::kMicrosecond,
+                      [tick] { (*tick)(); });
+  }
+  ex.sim().run_until(stop + 200 * sim::kMillisecond);  // drain
+
+  std::printf("\n%-14s %8s %10s %10s %10s %10s\n", "class", "flows",
+              "p50 ms", "p90 ms", "p99 ms", "p99.9 ms");
+  for (const Bucket& b : *buckets) {
+    std::printf("%-14s %8zu %10.2f %10.2f %10.2f %10.2f\n", b.name,
+                b.fct_ms.count(), b.fct_ms.percentile(50),
+                b.fct_ms.percentile(90), b.fct_ms.percentile(99),
+                b.fct_ms.percentile(99.9));
+  }
+  const auto c = ex.switch_counters();
+  std::printf("\nswitch loss: %.4f%%\n",
+              c.enqueued + c.dropped
+                  ? 100.0 * static_cast<double>(c.dropped) /
+                        static_cast<double>(c.enqueued + c.dropped)
+                  : 0.0);
+  return 0;
+}

@@ -1,0 +1,353 @@
+#include "controller/controller.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "controller/weights.h"
+
+namespace presto::controller {
+
+Controller::Controller(net::Topology& topo, ControllerConfig cfg)
+    : topo_(topo), cfg_(cfg) {}
+
+void Controller::install() {
+  build_trees();
+  install_labels();
+  install_real_routes();
+  install_failover_groups();
+  build_schedules();
+}
+
+void Controller::build_trees() {
+  trees_.clear();
+  // gamma = parallel links per (leaf, spine) pair; assume uniform wiring and
+  // derive it from the densest pair.
+  std::uint32_t gamma = 0;
+  for (const net::FabricLink& fl : topo_.fabric_links()) {
+    gamma = std::max(gamma, fl.group + 1);
+  }
+  std::uint32_t id = 0;
+  for (net::SwitchId spine : topo_.spines()) {
+    for (std::uint32_t g = 0; g < gamma; ++g) {
+      // A (spine, group) pair forms a spanning tree only if every leaf has
+      // that parallel link.
+      const bool complete = std::all_of(
+          topo_.leaves().begin(), topo_.leaves().end(),
+          [&](net::SwitchId leaf) {
+            return leaf_uplink(leaf, spine, g) != net::kInvalidPort;
+          });
+      if (complete) trees_.push_back(Tree{id++, spine, g});
+    }
+  }
+}
+
+net::PortId Controller::leaf_uplink(net::SwitchId leaf, net::SwitchId spine,
+                                    std::uint32_t group) const {
+  for (const net::FabricLink& fl : topo_.fabric_links()) {
+    if (fl.leaf == leaf && fl.spine == spine && fl.group == group) {
+      return fl.leaf_port;
+    }
+  }
+  return net::kInvalidPort;
+}
+
+net::PortId Controller::spine_downlink(net::SwitchId spine, net::SwitchId leaf,
+                                       std::uint32_t group) const {
+  for (const net::FabricLink& fl : topo_.fabric_links()) {
+    if (fl.leaf == leaf && fl.spine == spine && fl.group == group) {
+      return fl.spine_port;
+    }
+  }
+  return net::kInvalidPort;
+}
+
+net::SwitchId Controller::backup_spine(net::SwitchId spine) const {
+  const auto& spines = topo_.spines();
+  for (std::size_t i = 0; i < spines.size(); ++i) {
+    if (spines[i] == spine) return spines[(i + 1) % spines.size()];
+  }
+  return spine;
+}
+
+net::MacAddr Controller::label_for(net::HostId dst, const Tree& t) const {
+  if (cfg_.switch_tunnels) {
+    return net::tunnel_mac(topo_.host(dst).edge_switch, t.id);
+  }
+  return net::shadow_mac(dst, t.id);
+}
+
+void Controller::install_labels() {
+  if (cfg_.switch_tunnels) {
+    // One label per (destination leaf, tree) at every switch; the
+    // destination leaf itself carries no entry and falls through to the
+    // per-host L3 group for the final hop.
+    for (net::SwitchId dst_leaf : topo_.leaves()) {
+      for (const Tree& t : trees_) {
+        const net::MacAddr label = net::tunnel_mac(dst_leaf, t.id);
+        for (net::SwitchId leaf : topo_.leaves()) {
+          if (leaf == dst_leaf) continue;
+          const net::PortId up = leaf_uplink(leaf, t.spine, t.group);
+          if (up != net::kInvalidPort) {
+            topo_.get_switch(leaf).install_l2(label, up);
+          }
+        }
+        for (net::SwitchId spine : topo_.spines()) {
+          net::PortId down = spine_downlink(spine, dst_leaf, t.group);
+          if (down == net::kInvalidPort) {
+            down = spine_downlink(spine, dst_leaf, 0);
+          }
+          if (down != net::kInvalidPort) {
+            topo_.get_switch(spine).install_l2(label, down);
+          }
+        }
+      }
+    }
+    return;
+  }
+  for (net::HostId h = 0; h < topo_.host_count(); ++h) {
+    const net::HostAttachment& at = topo_.host(h);
+    const bool on_leaf =
+        std::find(topo_.leaves().begin(), topo_.leaves().end(),
+                  at.edge_switch) != topo_.leaves().end();
+    if (!on_leaf) continue;  // spine-attached (north-south) hosts: no labels
+    for (const Tree& t : trees_) {
+      const net::MacAddr label = net::shadow_mac(h, t.id);
+      // Destination leaf: deliver to the host port.
+      topo_.get_switch(at.edge_switch).install_l2(label, at.edge_port);
+      // Other leaves: forward up into the tree's spine.
+      for (net::SwitchId leaf : topo_.leaves()) {
+        if (leaf == at.edge_switch) continue;
+        const net::PortId up = leaf_uplink(leaf, t.spine, t.group);
+        if (up != net::kInvalidPort) {
+          topo_.get_switch(leaf).install_l2(label, up);
+        }
+      }
+      // All spines know every label (enables failover through any spine).
+      for (net::SwitchId spine : topo_.spines()) {
+        net::PortId down = spine_downlink(spine, at.edge_switch, t.group);
+        if (down == net::kInvalidPort) {
+          down = spine_downlink(spine, at.edge_switch, 0);
+        }
+        if (down != net::kInvalidPort) {
+          topo_.get_switch(spine).install_l2(label, down);
+        }
+      }
+    }
+  }
+}
+
+void Controller::install_real_routes() {
+  for (net::HostId h = 0; h < topo_.host_count(); ++h) {
+    const net::HostAttachment& at = topo_.host(h);
+    topo_.get_switch(at.edge_switch).install_l2(net::real_mac(h),
+                                                at.edge_port);
+    const bool on_leaf =
+        std::find(topo_.leaves().begin(), topo_.leaves().end(),
+                  at.edge_switch) != topo_.leaves().end();
+    if (on_leaf) {
+      // Own leaf: a single-member L3 group so tunnel labels (no L2 entry at
+      // the destination leaf) resolve the final hop by destination host.
+      topo_.get_switch(at.edge_switch)
+          .install_ecmp_group(h, {at.edge_port});
+      // Spines: ECMP over the gamma downlinks to the host's leaf.
+      for (net::SwitchId spine : topo_.spines()) {
+        std::vector<net::PortId> members;
+        for (const net::FabricLink& fl : topo_.fabric_links()) {
+          if (fl.spine == spine && fl.leaf == at.edge_switch) {
+            members.push_back(fl.spine_port);
+          }
+        }
+        if (!members.empty()) {
+          topo_.get_switch(spine).install_ecmp_group(h, std::move(members));
+        }
+      }
+      // Other leaves: ECMP over all uplinks.
+      for (net::SwitchId leaf : topo_.leaves()) {
+        if (leaf == at.edge_switch) continue;
+        std::vector<net::PortId> members;
+        for (const net::FabricLink& fl : topo_.fabric_links()) {
+          if (fl.leaf == leaf) members.push_back(fl.leaf_port);
+        }
+        if (!members.empty()) {
+          topo_.get_switch(leaf).install_ecmp_group(h, std::move(members));
+        }
+      }
+    } else {
+      // Spine-attached host: leaves reach it via their uplinks to that spine.
+      for (net::SwitchId leaf : topo_.leaves()) {
+        std::vector<net::PortId> members;
+        for (const net::FabricLink& fl : topo_.fabric_links()) {
+          if (fl.leaf == leaf && fl.spine == at.edge_switch) {
+            members.push_back(fl.leaf_port);
+          }
+        }
+        if (!members.empty()) {
+          topo_.get_switch(leaf).install_ecmp_group(h, std::move(members));
+        }
+      }
+    }
+  }
+}
+
+void Controller::install_failover_groups() {
+  // Each leaf uplink's backup is the same-group uplink to the next spine.
+  for (net::SwitchId leaf : topo_.leaves()) {
+    for (const Tree& t : trees_) {
+      const net::PortId primary = leaf_uplink(leaf, t.spine, t.group);
+      if (primary == net::kInvalidPort) continue;
+      const net::SwitchId alt = backup_spine(t.spine);
+      net::PortId backup = leaf_uplink(leaf, alt, t.group);
+      if (backup == net::kInvalidPort) backup = leaf_uplink(leaf, alt, 0);
+      if (backup != net::kInvalidPort && backup != primary) {
+        topo_.get_switch(leaf).install_failover(primary, backup);
+      }
+    }
+  }
+}
+
+void Controller::build_schedules() {
+  for (net::HostId src = 0; src < topo_.host_count(); ++src) {
+    core::LabelMap& map = maps_[src];
+    for (net::HostId dst = 0; dst < topo_.host_count(); ++dst) {
+      if (src == dst) continue;
+      const net::HostAttachment& at = topo_.host(dst);
+      const bool on_leaf =
+          std::find(topo_.leaves().begin(), topo_.leaves().end(),
+                    at.edge_switch) != topo_.leaves().end();
+      if (!on_leaf) continue;
+      std::vector<net::MacAddr> labels;
+      labels.reserve(trees_.size());
+      for (const Tree& t : trees_) {
+        labels.push_back(label_for(dst, t));
+      }
+      map.set_schedule(dst, std::move(labels));
+    }
+  }
+}
+
+Controller::FailureTimeline Controller::schedule_link_failure(
+    net::SwitchId leaf, net::SwitchId spine, std::uint32_t group,
+    sim::Time at) {
+  FailureTimeline tl{at, at + cfg_.failover_detect_delay,
+                     at + cfg_.controller_react_delay};
+  auto& sim = topo_.sim();
+  sim.schedule_at(at, [this, leaf, spine, group] {
+    if (!topo_.set_fabric_link_down(leaf, spine, group, true)) {
+      throw std::runtime_error("no such fabric link to fail");
+    }
+    failed_.insert({leaf, spine, group});
+    // The adjacent leaf's pre-installed failover group redirects its uplink
+    // traffic immediately (hardware fast failover).
+  });
+  sim.schedule_at(tl.failover, [this, leaf, spine, group] {
+    apply_ingress_reroute(leaf, spine, group);
+  });
+  sim.schedule_at(tl.weighted, [this] { push_weighted_schedules(); });
+  return tl;
+}
+
+void Controller::schedule_link_restore(net::SwitchId leaf,
+                                        net::SwitchId spine,
+                                        std::uint32_t group, sim::Time at) {
+  auto& sim = topo_.sim();
+  sim.schedule_at(at, [this, leaf, spine, group] {
+    topo_.set_fabric_link_down(leaf, spine, group, false);
+    failed_.erase({leaf, spine, group});
+    // Undo any ingress reroute: point the affected tree's labels back at
+    // the original spine on every leaf.
+    for (const Tree& t : trees_) {
+      if (t.spine != spine || t.group != group) continue;
+      std::vector<net::MacAddr> labels;
+      if (cfg_.switch_tunnels) {
+        labels.push_back(net::tunnel_mac(leaf, t.id));
+      } else {
+        for (net::HostId h : topo_.hosts_on(leaf)) {
+          labels.push_back(net::shadow_mac(h, t.id));
+        }
+      }
+      for (net::MacAddr label : labels) {
+        for (net::SwitchId l : topo_.leaves()) {
+          if (l == leaf) continue;
+          const net::PortId up = leaf_uplink(l, spine, group);
+          if (up != net::kInvalidPort) {
+            topo_.get_switch(l).install_l2(label, up);
+          }
+        }
+      }
+    }
+  });
+  sim.schedule_at(at + cfg_.controller_react_delay,
+                  [this] { push_weighted_schedules(); });
+}
+
+void Controller::set_pair_weights(net::HostId src, net::HostId dst,
+                                  const std::vector<double>& tree_weights) {
+  const auto counts = weight_counts(tree_weights);
+  const auto order = interleave_schedule(counts);
+  std::vector<net::MacAddr> labels;
+  labels.reserve(order.size());
+  for (std::size_t tree_idx : order) {
+    labels.push_back(label_for(dst, trees_.at(tree_idx)));
+  }
+  if (!labels.empty()) maps_[src].set_schedule(dst, std::move(labels));
+}
+
+void Controller::apply_ingress_reroute(net::SwitchId dead_leaf,
+                                       net::SwitchId dead_spine,
+                                       std::uint32_t dead_group) {
+  // Labels whose tree crosses the dead (spine -> dead_leaf) hop are
+  // re-pointed at a backup spine on every ingress leaf.
+  const net::SwitchId alt = backup_spine(dead_spine);
+  for (const Tree& t : trees_) {
+    if (t.spine != dead_spine || t.group != dead_group) continue;
+    std::vector<net::MacAddr> labels;
+    if (cfg_.switch_tunnels) {
+      labels.push_back(net::tunnel_mac(dead_leaf, t.id));
+    } else {
+      for (net::HostId h : topo_.hosts_on(dead_leaf)) {
+        labels.push_back(net::shadow_mac(h, t.id));
+      }
+    }
+    for (net::MacAddr label : labels) {
+      for (net::SwitchId leaf : topo_.leaves()) {
+        if (leaf == dead_leaf) continue;
+        net::PortId up = leaf_uplink(leaf, alt, t.group);
+        if (up == net::kInvalidPort) up = leaf_uplink(leaf, alt, 0);
+        if (up != net::kInvalidPort) {
+          topo_.get_switch(leaf).install_l2(label, up);
+        }
+      }
+    }
+  }
+}
+
+bool Controller::tree_alive(const Tree& t, net::SwitchId src_leaf,
+                            net::SwitchId dst_leaf) const {
+  if (failed_.count({src_leaf, t.spine, t.group}) != 0) return false;
+  if (failed_.count({dst_leaf, t.spine, t.group}) != 0) return false;
+  return true;
+}
+
+void Controller::push_weighted_schedules() {
+  for (net::HostId src = 0; src < topo_.host_count(); ++src) {
+    const net::SwitchId src_edge = topo_.host(src).edge_switch;
+    core::LabelMap& map = maps_[src];
+    for (net::HostId dst = 0; dst < topo_.host_count(); ++dst) {
+      if (src == dst) continue;
+      const net::HostAttachment& at = topo_.host(dst);
+      const bool on_leaf =
+          std::find(topo_.leaves().begin(), topo_.leaves().end(),
+                    at.edge_switch) != topo_.leaves().end();
+      if (!on_leaf) continue;
+      std::vector<net::MacAddr> labels;
+      for (const Tree& t : trees_) {
+        if (tree_alive(t, src_edge, at.edge_switch)) {
+          labels.push_back(label_for(dst, t));
+        }
+      }
+      if (!labels.empty()) map.set_schedule(dst, std::move(labels));
+    }
+  }
+}
+
+}  // namespace presto::controller

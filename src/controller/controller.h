@@ -1,0 +1,123 @@
+// Centralized controller (§3.1, §3.3).
+//
+// Responsibilities, mirroring the paper:
+//   * partition a 2-tier Clos fabric into disjoint spanning trees — one per
+//     (spine, parallel-link group) — so that `num_spines * gamma` end-to-end
+//     paths exist between any pair of leaves;
+//   * assign one shadow MAC per (host, tree) and install the label rules in
+//     every switch's L2 table (labels are installed at *all* spines so leaf
+//     fast-failover can bounce a tree through a backup spine);
+//   * install real-MAC routes (local L2 + per-hop ECMP groups) used by the
+//     Optimal baseline, north-south traffic, and the Presto+ECMP variant;
+//   * push per-destination label schedules to each sender vSwitch;
+//   * on link failure: rely on pre-installed leaf failover groups for
+//     locally detectable breaks, reroute ingress leaves after a detection
+//     delay (models BGP fast external failover / OpenFlow failover groups),
+//     and finally push pruned/weighted schedules to the vSwitches.
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "core/label_map.h"
+#include "net/topology.h"
+#include "sim/simulation.h"
+
+namespace presto::controller {
+
+/// One spanning tree: all leaves reach each other through `spine` using the
+/// `group`-th parallel link of each (leaf, spine) pair.
+struct Tree {
+  std::uint32_t id = 0;
+  net::SwitchId spine = 0;
+  std::uint32_t group = 0;
+};
+
+struct ControllerConfig {
+  /// Use switch-to-switch shadow-MAC tunnels instead of per-host labels:
+  /// one label per (destination leaf, tree); the destination leaf forwards
+  /// the final hop on the real destination (§3.1's scalability option).
+  bool switch_tunnels = false;
+  /// Latency until non-adjacent leaves reroute around a failed link
+  /// ("hardware failover latency ranges from several to tens of
+  /// milliseconds", §3.3).
+  sim::Time failover_detect_delay = 5 * sim::kMillisecond;
+  /// Latency until the controller pushes weighted schedules to vSwitches.
+  sim::Time controller_react_delay = 200 * sim::kMillisecond;
+};
+
+class Controller {
+ public:
+  Controller(net::Topology& topo, ControllerConfig cfg = {});
+
+  /// Computes trees and installs all label/real-MAC/failover state.
+  void install();
+
+  /// The vSwitch label map for traffic originating at `src` (hosts keep a
+  /// reference; the controller mutates it on reconvergence).
+  core::LabelMap& label_map(net::HostId src) { return maps_[src]; }
+
+  const std::vector<Tree>& trees() const { return trees_; }
+
+  /// Schedules a fabric-link failure with the staged reaction described
+  /// above. Returns the absolute times {failure, failover done, weighted
+  /// schedules pushed} for experiment windowing.
+  struct FailureTimeline {
+    sim::Time failed;
+    sim::Time failover;
+    sim::Time weighted;
+  };
+  FailureTimeline schedule_link_failure(net::SwitchId leaf,
+                                        net::SwitchId spine,
+                                        std::uint32_t group, sim::Time at);
+
+  /// Restores a previously failed link at `at`: ports come back up, the
+  /// original label rules are reinstalled at every ingress leaf, and full
+  /// schedules are pushed back to the vSwitches after the controller delay.
+  void schedule_link_restore(net::SwitchId leaf, net::SwitchId spine,
+                             std::uint32_t group, sim::Time at);
+
+  /// Installs an explicitly weighted schedule for (src -> dst): one weight
+  /// per spanning tree, realized by label duplication + interleaving
+  /// (§3.3's WCMP-at-the-edge; e.g. {0.25, 0.5, 0.25} -> p1,p2,p3,p2).
+  void set_pair_weights(net::HostId src, net::HostId dst,
+                        const std::vector<double>& tree_weights);
+
+  /// True if the (leaf, spine, group) hop of tree `t` is marked failed for
+  /// traffic between these leaves.
+  bool tree_alive(const Tree& t, net::SwitchId src_leaf,
+                  net::SwitchId dst_leaf) const;
+
+ private:
+  void build_trees();
+  void install_labels();
+  void install_real_routes();
+  void install_failover_groups();
+  void build_schedules();
+
+  /// Reroutes every non-adjacent leaf's labels around a dead link.
+  void apply_ingress_reroute(net::SwitchId dead_leaf, net::SwitchId dead_spine,
+                             std::uint32_t dead_group);
+  /// Pushes pruned (weighted) schedules reflecting all known failures.
+  void push_weighted_schedules();
+
+  /// Label carrying traffic for `dst` over tree `t` under the current mode.
+  net::MacAddr label_for(net::HostId dst, const Tree& t) const;
+
+  net::PortId leaf_uplink(net::SwitchId leaf, net::SwitchId spine,
+                          std::uint32_t group) const;
+  net::PortId spine_downlink(net::SwitchId spine, net::SwitchId leaf,
+                             std::uint32_t group) const;
+  net::SwitchId backup_spine(net::SwitchId spine) const;
+
+  net::Topology& topo_;
+  ControllerConfig cfg_;
+  std::vector<Tree> trees_;
+  std::unordered_map<net::HostId, core::LabelMap> maps_;
+  /// Failed (leaf, spine, group) triples.
+  std::set<std::tuple<net::SwitchId, net::SwitchId, std::uint32_t>> failed_;
+};
+
+}  // namespace presto::controller

@@ -1,0 +1,116 @@
+#include "controller/weights.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace presto::controller {
+
+std::vector<std::uint32_t> weight_counts(const std::vector<double>& weights,
+                                         std::uint32_t max_slots) {
+  std::vector<std::uint32_t> counts(weights.size(), 0);
+  double total = 0;
+  std::uint32_t positive = 0;
+  for (double w : weights) {
+    if (w > 0) {
+      total += w;
+      ++positive;
+    }
+  }
+  if (positive == 0 || max_slots == 0) return counts;
+  if (max_slots < positive) max_slots = positive;  // one slot minimum each
+
+  // Largest-remainder method: floor the ideal share, then hand leftover
+  // slots to the largest fractional remainders.
+  std::vector<double> ideal(weights.size(), 0);
+  std::uint32_t used = 0;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    if (weights[i] <= 0) continue;
+    ideal[i] = weights[i] / total * max_slots;
+    counts[i] = std::max<std::uint32_t>(
+        1, static_cast<std::uint32_t>(std::floor(ideal[i])));
+    used += counts[i];
+  }
+  // Guaranteed minimums may overshoot; shave from the most over-represented.
+  while (used > max_slots) {
+    std::size_t worst = weights.size();
+    double worst_excess = -1;
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+      if (counts[i] <= 1) continue;
+      const double excess = counts[i] - ideal[i];
+      if (excess > worst_excess) {
+        worst_excess = excess;
+        worst = i;
+      }
+    }
+    if (worst == weights.size()) break;
+    --counts[worst];
+    --used;
+  }
+  while (used < max_slots) {
+    std::size_t best = weights.size();
+    double best_deficit = -1e300;
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+      if (weights[i] <= 0) continue;
+      const double deficit = ideal[i] - counts[i];
+      if (deficit > best_deficit) {
+        best_deficit = deficit;
+        best = i;
+      }
+    }
+    if (best == weights.size()) break;
+    ++counts[best];
+    ++used;
+  }
+  // Reduce by the GCD so equal weights collapse to the plain path list.
+  std::uint32_t g = 0;
+  for (std::uint32_t c : counts) g = std::gcd(g, c);
+  if (g > 1) {
+    for (std::uint32_t& c : counts) c /= g;
+  }
+  return counts;
+}
+
+std::vector<std::size_t> interleave_schedule(
+    const std::vector<std::uint32_t>& counts) {
+  // Round-robin deal: repeatedly take one slot from every path that still
+  // has slots left, largest remaining first. This spaces duplicates apart.
+  std::vector<std::uint32_t> remaining = counts;
+  std::vector<std::size_t> order;
+  std::uint32_t total = 0;
+  for (std::uint32_t c : counts) total += c;
+  order.reserve(total);
+  while (order.size() < total) {
+    // Visit paths in decreasing remaining count for this round.
+    std::vector<std::size_t> round;
+    for (std::size_t i = 0; i < remaining.size(); ++i) {
+      if (remaining[i] > 0) round.push_back(i);
+    }
+    std::stable_sort(round.begin(), round.end(),
+                     [&](std::size_t a, std::size_t b) {
+                       return remaining[a] > remaining[b];
+                     });
+    for (std::size_t i : round) {
+      order.push_back(i);
+      --remaining[i];
+    }
+  }
+  return order;
+}
+
+double max_weight_error(const std::vector<double>& weights,
+                        const std::vector<std::uint32_t>& counts) {
+  double wtotal = 0, ctotal = 0;
+  for (double w : weights) wtotal += std::max(w, 0.0);
+  for (std::uint32_t c : counts) ctotal += c;
+  if (wtotal <= 0 || ctotal <= 0) return 0;
+  double err = 0;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    const double requested = std::max(weights[i], 0.0) / wtotal;
+    const double realized = counts[i] / ctotal;
+    err = std::max(err, std::abs(requested - realized));
+  }
+  return err;
+}
+
+}  // namespace presto::controller

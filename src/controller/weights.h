@@ -1,0 +1,34 @@
+// Weighted multipathing via label duplication (§3.3).
+//
+// Presto realizes WCMP-style path weights purely at the edge: the controller
+// sends the vSwitch a label *sequence* with duplicates — e.g. weights
+// {0.25, 0.5, 0.25} become the sequence {p1, p2, p3, p2} — and the sender's
+// unmodified round robin then carries traffic in the desired proportions.
+// This module turns fractional weights into short duplication sequences with
+// bounded approximation error.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace presto::controller {
+
+/// Computes per-path repetition counts approximating `weights` (arbitrary
+/// non-negative values; zero-weight paths get zero slots) with a schedule of
+/// at most `max_slots` total entries. At least one slot is assigned to every
+/// strictly positive weight. Returns the counts per path.
+std::vector<std::uint32_t> weight_counts(const std::vector<double>& weights,
+                                         std::uint32_t max_slots = 16);
+
+/// Expands repetition counts into a schedule order that interleaves
+/// duplicates as evenly as possible (so a weight-2 path is not visited
+/// twice back-to-back). Returns indices into the original weight vector.
+std::vector<std::size_t> interleave_schedule(
+    const std::vector<std::uint32_t>& counts);
+
+/// Largest |realized - requested| proportion over all paths for a given
+/// count vector (diagnostic; used by tests to bound approximation error).
+double max_weight_error(const std::vector<double>& weights,
+                        const std::vector<std::uint32_t>& counts);
+
+}  // namespace presto::controller

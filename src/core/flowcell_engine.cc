@@ -1,0 +1,60 @@
+#include "core/flowcell_engine.h"
+
+namespace presto::core {
+
+void FlowcellEngine::on_segment(net::Packet& seg) {
+  FlowState& st = flows_[seg.flow];
+  const std::vector<net::MacAddr>* sched = labels_.schedule(seg.dst_host);
+
+  if (!st.initialized) {
+    st.initialized = true;
+    st.map_version = labels_.version();
+    ++flowcells_created_;
+    if (sched != nullptr) {
+      // Randomize the starting path so independent senders don't stampede
+      // the same spanning tree in lockstep.
+      st.cursor = static_cast<std::size_t>(
+          net::mix64(seg.flow.hash() ^ cfg_.seed) % sched->size());
+    }
+  } else if (sched != nullptr && st.map_version != labels_.version()) {
+    // The controller replaced the schedule (failure/weight update); the
+    // cursor is re-interpreted modulo the new length below.
+    st.map_version = labels_.version();
+  }
+
+  // Algorithm 1, lines 1-7: bytecount accumulates consecutive segment
+  // lengths; crossing the threshold starts a new flowcell on the next label.
+  const std::uint64_t len =
+      seg.payload > 0 ? seg.payload : net::kHeaderBytes;  // pure-ACK skb len
+  if (st.bytecount + len > cfg_.threshold_bytes) {
+    st.bytecount = len;
+    if (sched != nullptr) {
+      if (cfg_.random_selection) {
+        // Ablation: random path per flowcell (vs the paper's round robin).
+        st.cursor = static_cast<std::size_t>(
+            net::mix64(cfg_.seed ^ seg.flow.hash() ^
+                       (st.flowcell_id * 0x9E3779B97F4A7C15ULL)) %
+            sched->size());
+      } else {
+        st.cursor = st.cursor + 1;
+      }
+    }
+    ++st.flowcell_id;
+    ++flowcells_created_;
+  } else {
+    st.bytecount += len;
+  }
+
+  // Algorithm 1, lines 8-9: stamp the segment; TSO replicates these fields
+  // onto every derived MTU packet.
+  seg.flowcell_id = st.flowcell_id;
+  if (cfg_.per_hop_ecmp) {
+    seg.ecmp_extra = st.flowcell_id;  // hash on flowcell ID at every hop
+    return;                           // dst MAC stays the real address
+  }
+  if (sched != nullptr) {
+    seg.dst_mac = (*sched)[st.cursor % sched->size()];
+  }
+}
+
+}  // namespace presto::core

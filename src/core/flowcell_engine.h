@@ -1,0 +1,61 @@
+// Presto's sender datapath: flowcell creation + shadow-MAC round robin.
+//
+// Direct implementation of Algorithm 1: a per-flow byte counter groups
+// consecutive segments into <= 64 KB flowcells; each flowcell is assigned the
+// next shadow MAC in the destination's schedule (round robin), and a
+// sequentially increasing flowcell ID is stamped on every segment so the
+// receiver's GRO can distinguish loss from reordering (§3.1-3.2).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "core/label_map.h"
+#include "lb/sender_lb.h"
+#include "net/flow_key.h"
+
+namespace presto::core {
+
+struct FlowcellConfig {
+  /// Flowcell size threshold; the paper uses the maximum TSO size (64 KB).
+  std::uint32_t threshold_bytes = net::kMaxTsoBytes;
+  /// Seed for each flow's initial position in the round-robin schedule
+  /// (randomized per flow so independent senders do not synchronize).
+  std::uint64_t seed = 1;
+  /// When true (the "Presto + ECMP" per-hop variant, §5/Figure 14), leave
+  /// the real destination MAC in place and export the flowcell ID as the
+  /// per-hop ECMP hash salt instead of selecting an end-to-end label.
+  bool per_hop_ecmp = false;
+  /// Ablation: pick a uniformly random label per flowcell instead of round
+  /// robin. The paper argues round robin spreads flowcells more evenly
+  /// (§2.1 "Per-Hop vs End-to-End Multipathing").
+  bool random_selection = false;
+};
+
+class FlowcellEngine final : public lb::SenderLb {
+ public:
+  /// `labels` may outlive this engine; the controller mutates it on failures.
+  FlowcellEngine(const LabelMap& labels, FlowcellConfig cfg = {})
+      : labels_(labels), cfg_(cfg) {}
+
+  void on_segment(net::Packet& seg) override;
+
+  /// Total flowcells started across all flows (diagnostics).
+  std::uint64_t flowcells_created() const { return flowcells_created_; }
+
+ private:
+  struct FlowState {
+    std::uint64_t bytecount = 0;
+    std::uint64_t flowcell_id = 1;
+    std::size_t cursor = 0;
+    bool initialized = false;
+    std::uint64_t map_version = 0;
+  };
+
+  const LabelMap& labels_;
+  FlowcellConfig cfg_;
+  std::unordered_map<net::FlowKey, FlowState, net::FlowKeyHash> flows_;
+  std::uint64_t flowcells_created_ = 0;
+};
+
+}  // namespace presto::core

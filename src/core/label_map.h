@@ -1,0 +1,40 @@
+// vSwitch label schedules: destination -> round-robin list of shadow MACs.
+//
+// The controller computes one schedule per destination and pushes it to each
+// sender vSwitch (§3.1). Weighted multipathing (§3.3) is realized by
+// duplicating labels in the list — e.g. weights {0.25, 0.5, 0.25} become the
+// sequence {p1, p2, p3, p2} — so the round-robin sender needs no changes.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "net/types.h"
+
+namespace presto::core {
+
+class LabelMap {
+ public:
+  /// Installs/overwrites the schedule for `dst`. Bumps the version so
+  /// senders can invalidate cached positions.
+  void set_schedule(net::HostId dst, std::vector<net::MacAddr> labels) {
+    by_dst_[dst] = std::move(labels);
+    ++version_;
+  }
+
+  /// Schedule for `dst`, or nullptr if the destination has no labels
+  /// (e.g. a north-south endpoint outside the managed fabric).
+  const std::vector<net::MacAddr>* schedule(net::HostId dst) const {
+    auto it = by_dst_.find(dst);
+    return it == by_dst_.end() || it->second.empty() ? nullptr : &it->second;
+  }
+
+  std::uint64_t version() const { return version_; }
+
+ private:
+  std::unordered_map<net::HostId, std::vector<net::MacAddr>> by_dst_;
+  std::uint64_t version_ = 0;
+};
+
+}  // namespace presto::core

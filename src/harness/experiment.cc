@@ -1,0 +1,179 @@
+#include "harness/experiment.h"
+
+#include "lb/ecmp_lb.h"
+#include "lb/flowlet_lb.h"
+#include "lb/per_packet_lb.h"
+
+namespace presto::harness {
+
+const char* scheme_name(Scheme s) {
+  switch (s) {
+    case Scheme::kEcmp: return "ECMP";
+    case Scheme::kMptcp: return "MPTCP";
+    case Scheme::kPresto: return "Presto";
+    case Scheme::kOptimal: return "Optimal";
+    case Scheme::kFlowlet: return "Flowlet";
+    case Scheme::kPrestoEcmp: return "Presto+ECMP";
+    case Scheme::kPerPacket: return "PerPacket";
+  }
+  return "?";
+}
+
+Experiment::Experiment(ExperimentConfig cfg)
+    : cfg_(std::move(cfg)), rng_(cfg_.seed) {
+  net::LinkConfig link;
+  link.rate_bps = cfg_.link_rate_bps;
+  link.propagation = cfg_.link_propagation;
+  link.queue_bytes = cfg_.switch_buffer_bytes;
+  net::TopoParams params;
+  params.host_link = link;
+  params.fabric_link = link;
+  params.gamma = cfg_.gamma;
+
+  if (cfg_.scheme == Scheme::kOptimal) {
+    topo_ = net::make_single_switch(
+        sim_, cfg_.leaves * cfg_.hosts_per_leaf + cfg_.remote_users_per_spine *
+                                                      cfg_.spines,
+        params);
+  } else {
+    topo_ = net::make_clos(sim_, cfg_.spines, cfg_.leaves,
+                           cfg_.hosts_per_leaf, params);
+    // North-south remote users hang off the spines over WAN-limited links.
+    net::LinkConfig wan = link;
+    wan.rate_bps = cfg_.remote_link_rate_bps;
+    for (net::SwitchId spine : topo_->spines()) {
+      for (std::uint32_t i = 0; i < cfg_.remote_users_per_spine; ++i) {
+        topo_->add_host(spine, wan);
+      }
+    }
+  }
+  ctl_ = std::make_unique<controller::Controller>(*topo_, cfg_.controller);
+  ctl_->install();
+  build_hosts();
+}
+
+void Experiment::build_hosts() {
+  const std::uint32_t num_servers = cfg_.leaves * cfg_.hosts_per_leaf;
+  for (net::HostId h = 0; h < topo_->host_count(); ++h) {
+    host::HostConfig hc = cfg_.host;
+    hc.jitter_seed = net::mix64(cfg_.seed ^ (0xBEEF00ULL + h));
+    hc.uplink = topo_->host(h).link;
+    hc.uplink.queue_bytes =
+        std::max<std::uint64_t>(hc.uplink.queue_bytes,
+                                cfg_.host_tx_queue_bytes);
+    const bool server = h < num_servers || cfg_.scheme == Scheme::kOptimal;
+    if (!cfg_.force_gro) {
+      switch (cfg_.scheme) {
+        case Scheme::kPresto:
+        case Scheme::kPrestoEcmp:
+        case Scheme::kPerPacket:
+          hc.gro = host::GroKind::kPresto;
+          break;
+        default:
+          hc.gro = host::GroKind::kOfficial;
+          break;
+      }
+    }
+    auto host_ptr = std::make_unique<host::Host>(sim_, h, hc);
+    topo_->connect_host(h, host_ptr.get(), host_ptr->uplink());
+    if (server) {
+      host_ptr->set_lb(make_lb(h));
+      servers_.push_back(h);
+    } else {
+      remotes_.push_back(h);
+    }
+    hosts_.push_back(std::move(host_ptr));
+  }
+  // In Optimal mode there are no "extra" hosts marked remote, but Table 2
+  // still needs remote endpoints — the last remote_users_per_spine * spines
+  // hosts play that role.
+  if (cfg_.scheme == Scheme::kOptimal && cfg_.remote_users_per_spine > 0) {
+    servers_.resize(num_servers);
+    remotes_.clear();
+    for (net::HostId h = num_servers; h < topo_->host_count(); ++h) {
+      remotes_.push_back(h);
+    }
+  }
+  next_port_.assign(topo_->host_count(), 10000);
+}
+
+std::unique_ptr<lb::SenderLb> Experiment::make_lb(net::HostId h) {
+  core::LabelMap& map = ctl_->label_map(h);
+  const std::uint64_t seed = net::mix64(cfg_.seed ^ (0x5151ULL + h));
+  switch (cfg_.scheme) {
+    case Scheme::kPresto: {
+      core::FlowcellConfig fc;
+      fc.seed = seed;
+      fc.threshold_bytes = cfg_.flowcell_bytes;
+      fc.random_selection = cfg_.flowcell_random_selection;
+      return std::make_unique<core::FlowcellEngine>(map, fc);
+    }
+    case Scheme::kPrestoEcmp: {
+      core::FlowcellConfig fc;
+      fc.seed = seed;
+      fc.threshold_bytes = cfg_.flowcell_bytes;
+      fc.per_hop_ecmp = true;
+      return std::make_unique<core::FlowcellEngine>(map, fc);
+    }
+    case Scheme::kEcmp:
+    case Scheme::kMptcp:
+      return std::make_unique<lb::EcmpLb>(map, seed);
+    case Scheme::kFlowlet:
+      return std::make_unique<lb::FlowletLb>(sim_, map, cfg_.flowlet_gap,
+                                             seed);
+    case Scheme::kPerPacket:
+      return std::make_unique<lb::PerPacketLb>(map, seed);
+    case Scheme::kOptimal:
+      return nullptr;  // single switch: plain real-MAC forwarding
+  }
+  return nullptr;
+}
+
+net::FlowKey Experiment::alloc_flow(net::HostId src, net::HostId dst) {
+  net::FlowKey f;
+  f.src_host = src;
+  f.dst_host = dst;
+  f.src_port = next_port_[src];
+  f.dst_port = 80;
+  next_port_[src] += 16;  // room for MPTCP subflow ports
+  return f;
+}
+
+std::unique_ptr<workload::ByteChannel> Experiment::open_channel(
+    net::HostId src, net::HostId dst, bool allow_mptcp) {
+  const net::FlowKey flow = alloc_flow(src, dst);
+  if (cfg_.scheme == Scheme::kMptcp && allow_mptcp) {
+    return std::make_unique<workload::MptcpByteChannel>(
+        sim_, host(src), host(dst), flow, cfg_.mptcp);
+  }
+  return std::make_unique<workload::TcpByteChannel>(host(src), host(dst),
+                                                    flow);
+}
+
+workload::RpcChannel& Experiment::open_rpc(net::HostId src, net::HostId dst,
+                                           std::uint32_t response_bytes,
+                                           bool allow_mptcp) {
+  auto rpc = std::make_unique<workload::RpcChannel>(
+      sim_, open_channel(src, dst, allow_mptcp),
+      open_channel(dst, src, allow_mptcp), response_bytes);
+  rpcs_.push_back(std::move(rpc));
+  return *rpcs_.back();
+}
+
+workload::ElephantApp& Experiment::add_elephant(
+    net::HostId src, net::HostId dst, std::uint64_t bytes,
+    workload::ElephantApp::CompleteFn done) {
+  auto app = std::make_unique<workload::ElephantApp>(
+      sim_, open_channel(src, dst), bytes, std::move(done));
+  elephants_.push_back(std::move(app));
+  return *elephants_.back();
+}
+
+Experiment::Counters Experiment::switch_counters() const {
+  Counters c;
+  c.enqueued = topo_->total_enqueued();
+  c.dropped = topo_->total_drops();
+  return c;
+}
+
+}  // namespace presto::harness

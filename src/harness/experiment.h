@@ -1,0 +1,145 @@
+// Experiment harness: builds a full testbed (topology + controller + hosts +
+// scheme wiring) from a declarative config, and provides channel/app
+// factories used by the benchmark drivers.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "controller/controller.h"
+#include "core/flowcell_engine.h"
+#include "host/host.h"
+#include "lb/mptcp.h"
+#include "net/topology.h"
+#include "sim/rng.h"
+#include "sim/simulation.h"
+#include "workload/apps.h"
+#include "workload/channel.h"
+
+namespace presto::harness {
+
+/// Load-balancing scheme under test (§4 "Performance Evaluation").
+enum class Scheme {
+  kEcmp,        ///< Per-flow random end-to-end path.
+  kMptcp,       ///< 8 coupled subflows over ECMP paths.
+  kPresto,      ///< Flowcells + shadow-MAC round robin + Presto GRO.
+  kOptimal,     ///< Single non-blocking switch.
+  kFlowlet,     ///< Flowlet switching (config.flowlet_gap) + stock GRO.
+  kPrestoEcmp,  ///< Flowcells hashed per hop (Figure 14 variant).
+  kPerPacket,   ///< Per-packet spraying (granularity ablation).
+};
+
+const char* scheme_name(Scheme s);
+
+struct ExperimentConfig {
+  Scheme scheme = Scheme::kPresto;
+
+  // Topology (defaults = the paper's Figure 3 testbed).
+  std::uint32_t spines = 4;
+  std::uint32_t leaves = 4;
+  std::uint32_t hosts_per_leaf = 4;
+  std::uint32_t gamma = 1;
+  double link_rate_bps = 10e9;
+  sim::Time link_propagation = 500 * sim::kNanosecond;
+  std::uint64_t switch_buffer_bytes = 400 * 1024;
+  /// Host NIC/qdisc transmit queue — large, so hosts do not drop their own
+  /// bursts (Linux qdisc default ~1000 packets plus TSQ backpressure).
+  std::uint64_t host_tx_queue_bytes = 4 * 1024 * 1024;
+
+  // North-south extension (Table 2): remote users attached to spines.
+  std::uint32_t remote_users_per_spine = 0;
+  double remote_link_rate_bps = 100e6;
+
+  // Scheme parameters.
+  sim::Time flowlet_gap = 500 * sim::kMicrosecond;
+  lb::MptcpConfig mptcp;
+  /// Flowcell threshold for Presto senders (ablation; paper uses 64 KB).
+  std::uint32_t flowcell_bytes = net::kMaxTsoBytes;
+  /// Ablation: random instead of round-robin label selection per flowcell.
+  bool flowcell_random_selection = false;
+
+  // Host template (gro is overridden per scheme unless `force_gro` is set).
+  host::HostConfig host;
+  bool force_gro = false;
+
+  controller::ControllerConfig controller;
+  std::uint64_t seed = 1;
+};
+
+class Experiment {
+ public:
+  explicit Experiment(ExperimentConfig cfg);
+
+  sim::Simulation& sim() { return sim_; }
+  net::Topology& topo() { return *topo_; }
+  controller::Controller& ctl() { return *ctl_; }
+  const ExperimentConfig& config() const { return cfg_; }
+
+  host::Host& host(net::HostId h) { return *hosts_.at(h); }
+  /// All hosts attached to leaves (the datacenter servers).
+  const std::vector<net::HostId>& servers() const { return servers_; }
+  /// Spine-attached remote users (north-south endpoints).
+  const std::vector<net::HostId>& remote_users() const { return remotes_; }
+
+  /// Pod (edge switch) of a host — used by pattern generators.
+  net::SwitchId pod_of(net::HostId h) const {
+    return topo_->host(h).edge_switch;
+  }
+
+  /// Logical rack of a server: stable across schemes. On the Clos it equals
+  /// the physical pod; in Optimal (single switch) mode every host shares one
+  /// edge switch, so cross-rack workload filters must use this instead.
+  net::SwitchId logical_pod(net::HostId h) const {
+    return net::SwitchId{h / cfg_.hosts_per_leaf};
+  }
+
+  /// Allocates a fresh flow key (unique ports) from src to dst.
+  net::FlowKey alloc_flow(net::HostId src, net::HostId dst);
+
+  /// Opens a scheme-appropriate byte stream (TCP, or MPTCP when the scheme
+  /// is kMptcp and `allow_mptcp`).
+  std::unique_ptr<workload::ByteChannel> open_channel(net::HostId src,
+                                                      net::HostId dst,
+                                                      bool allow_mptcp = true);
+
+  /// Opens an RPC channel (request src->dst, app-ACK dst->src); owned by the
+  /// experiment.
+  workload::RpcChannel& open_rpc(net::HostId src, net::HostId dst,
+                                 std::uint32_t response_bytes = 64,
+                                 bool allow_mptcp = true);
+
+  /// Starts a bulk transfer (0 bytes = continuous); owned by the experiment.
+  workload::ElephantApp& add_elephant(net::HostId src, net::HostId dst,
+                                      std::uint64_t bytes = 0,
+                                      workload::ElephantApp::CompleteFn done =
+                                          nullptr);
+
+  /// Fork of the experiment RNG (per-workload streams).
+  sim::Rng fork_rng() { return rng_.fork(); }
+
+  struct Counters {
+    std::uint64_t enqueued = 0;
+    std::uint64_t dropped = 0;
+  };
+  Counters switch_counters() const;
+
+ private:
+  void build_hosts();
+  std::unique_ptr<lb::SenderLb> make_lb(net::HostId h);
+
+  ExperimentConfig cfg_;
+  sim::Simulation sim_;
+  sim::Rng rng_;
+  std::unique_ptr<net::Topology> topo_;
+  std::unique_ptr<controller::Controller> ctl_;
+  std::vector<std::unique_ptr<host::Host>> hosts_;
+  std::vector<net::HostId> servers_;
+  std::vector<net::HostId> remotes_;
+  std::vector<std::uint32_t> next_port_;
+  std::vector<std::unique_ptr<workload::RpcChannel>> rpcs_;
+  std::vector<std::unique_ptr<workload::ElephantApp>> elephants_;
+};
+
+}  // namespace presto::harness

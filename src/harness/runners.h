@@ -1,0 +1,52 @@
+// Shared experiment drivers used by the per-figure benchmark binaries.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "harness/experiment.h"
+#include "stats/samples.h"
+#include "workload/patterns.h"
+
+namespace presto::harness {
+
+struct RunOptions {
+  sim::Time warmup = 100 * sim::kMillisecond;
+  sim::Time measure = 400 * sim::kMillisecond;
+
+  /// Elephant transfer size; 0 = continuous for the whole run.
+  std::uint64_t elephant_bytes = 0;
+  bool elephants = true;
+
+  /// Mice flows: `mice_bytes` requests + 64 B app-level ACK (§4).
+  bool mice = false;
+  std::uint64_t mice_bytes = 50 * 1000;
+  sim::Time mice_interval = 5 * sim::kMillisecond;
+
+  /// RTT probes (sockperf-style single-packet ping-pong).
+  bool rtt_probes = false;
+  sim::Time rtt_interval = 1 * sim::kMillisecond;
+};
+
+struct RunResult {
+  double avg_tput_gbps = 0;            ///< Mean per-elephant goodput.
+  std::vector<double> per_flow_gbps;   ///< One entry per elephant.
+  double fairness = 1.0;               ///< Jain index over per_flow_gbps.
+  double loss_pct = 0;                 ///< Switch drops / enqueued * 100.
+  stats::Samples rtt_ms;               ///< Probe round-trip times.
+  stats::Samples fct_ms;               ///< Mice flow completion times.
+  std::uint64_t mice_timeouts = 0;     ///< RTOs on mice connections.
+};
+
+/// Runs fixed sender->receiver pairs (stride / random / bijection / custom).
+RunResult run_pairs(const ExperimentConfig& cfg,
+                    const std::vector<workload::HostPair>& pairs,
+                    const RunOptions& opt);
+
+/// Hadoop-style shuffle: every server sends `transfer_bytes` to every other
+/// server in random order, two transfers at a time. Elephant throughput is
+/// reported per completed transfer; mice run on stride(1) pairs.
+RunResult run_shuffle(const ExperimentConfig& cfg,
+                      std::uint64_t transfer_bytes, const RunOptions& opt);
+
+}  // namespace presto::harness

@@ -1,0 +1,84 @@
+// Flowlet switching baseline (§5 "Comparison to Flowlet Switching").
+//
+// A flowlet ends when the gap between consecutive segments of a flow exceeds
+// the inactivity timer; each new flowlet takes the next path round-robin.
+// As in the paper's OVS implementation, this is congestion-unaware and runs
+// at the software edge; receivers use stock GRO.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "core/label_map.h"
+#include "lb/sender_lb.h"
+#include "net/flow_key.h"
+#include "sim/simulation.h"
+
+namespace presto::lb {
+
+class FlowletLb final : public SenderLb {
+ public:
+  FlowletLb(sim::Simulation& sim, const core::LabelMap& labels,
+            sim::Time inactivity_gap, std::uint64_t seed)
+      : sim_(sim), labels_(labels), gap_(inactivity_gap), seed_(seed) {}
+
+  void on_segment(net::Packet& seg) override {
+    const auto* sched = labels_.schedule(seg.dst_host);
+    if (sched == nullptr) return;
+    FlowState& st = flows_[seg.flow];
+    const sim::Time now = sim_.now();
+    if (!st.initialized) {
+      st.initialized = true;
+      st.cursor = static_cast<std::size_t>(
+          net::mix64(seg.flow.hash() ^ seed_) % sched->size());
+      ++st.flowlet_id;
+    } else if (now - st.last_segment > gap_) {
+      st.cursor = st.cursor + 1;  // new flowlet -> next path
+      ++st.flowlet_id;
+      st.completed_sizes.push_back(st.bytes_this_flowlet);
+      st.bytes_this_flowlet = 0;
+    }
+    st.last_segment = now;
+    st.bytes_this_flowlet += seg.payload;
+    seg.dst_mac = (*sched)[st.cursor % sched->size()];
+    // Expose the flowlet index for size-distribution experiments (Figure 1);
+    // flowlet switching itself has no receiver-side use for it.
+    seg.flowcell_id = st.flowlet_id;
+  }
+
+  /// Flowlets observed so far for `flow` (diagnostics / Figure 1).
+  std::uint64_t flowlet_count(const net::FlowKey& flow) const {
+    auto it = flows_.find(flow);
+    return it == flows_.end() ? 0 : it->second.flowlet_id;
+  }
+
+  /// Sizes (bytes) of all flowlets of `flow`, including the open one
+  /// (Figure 1's flowlet-size distribution).
+  std::vector<std::uint64_t> flowlet_sizes(const net::FlowKey& flow) const {
+    auto it = flows_.find(flow);
+    if (it == flows_.end()) return {};
+    std::vector<std::uint64_t> sizes = it->second.completed_sizes;
+    if (it->second.bytes_this_flowlet > 0) {
+      sizes.push_back(it->second.bytes_this_flowlet);
+    }
+    return sizes;
+  }
+
+ private:
+  struct FlowState {
+    bool initialized = false;
+    sim::Time last_segment = 0;
+    std::size_t cursor = 0;
+    std::uint64_t flowlet_id = 0;
+    std::uint64_t bytes_this_flowlet = 0;
+    std::vector<std::uint64_t> completed_sizes;
+  };
+
+  sim::Simulation& sim_;
+  const core::LabelMap& labels_;
+  sim::Time gap_;
+  std::uint64_t seed_;
+  std::unordered_map<net::FlowKey, FlowState, net::FlowKeyHash> flows_;
+};
+
+}  // namespace presto::lb

@@ -1,0 +1,27 @@
+// Sender-side vSwitch load-balancing policy.
+//
+// The host egress path calls on_segment() on every pre-TSO segment template
+// (data and pure ACKs alike — all vSwitch traffic runs through the policy,
+// as in the paper). Policies stamp the forwarding label (dst MAC), the
+// flowcell ID, and/or the per-hop ECMP salt. Per-packet policies are instead
+// applied to each MTU packet after TSO splitting.
+#pragma once
+
+#include "net/packet.h"
+
+namespace presto::lb {
+
+class SenderLb {
+ public:
+  virtual ~SenderLb() = default;
+
+  /// Stamps forwarding metadata on a segment template (or, for per-packet
+  /// policies, on an individual post-TSO packet).
+  virtual void on_segment(net::Packet& seg) = 0;
+
+  /// True if the policy must run per MTU packet after TSO (e.g. RPS/DRB
+  /// style per-packet spraying) rather than per TSO segment.
+  virtual bool per_packet() const { return false; }
+};
+
+}  // namespace presto::lb

@@ -1,0 +1,39 @@
+// Five-tuple-equivalent flow identity (protocol is always TCP here).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "net/types.h"
+
+namespace presto::net {
+
+/// Identifies one direction of a TCP connection. The reverse (ACK) direction
+/// is `reversed()`.
+struct FlowKey {
+  HostId src_host = 0;
+  HostId dst_host = 0;
+  std::uint32_t src_port = 0;
+  std::uint32_t dst_port = 0;
+
+  friend bool operator==(const FlowKey&, const FlowKey&) = default;
+
+  /// Flow key of the opposite direction.
+  FlowKey reversed() const {
+    return FlowKey{dst_host, src_host, dst_port, src_port};
+  }
+
+  /// Stable 64-bit hash of the tuple (used for ECMP and hash maps).
+  std::uint64_t hash() const {
+    std::uint64_t a = (static_cast<std::uint64_t>(src_host) << 32) | dst_host;
+    std::uint64_t b =
+        (static_cast<std::uint64_t>(src_port) << 32) | dst_port;
+    return mix64(a ^ mix64(b));
+  }
+};
+
+struct FlowKeyHash {
+  std::size_t operator()(const FlowKey& k) const { return k.hash(); }
+};
+
+}  // namespace presto::net

@@ -1,0 +1,88 @@
+// Simulated packet.
+//
+// Packets carry metadata only (no payload bytes); sequence numbers are byte
+// offsets into the sending TCP's stream. A Packet models one on-the-wire
+// MTU-sized frame *after* TSO; before TSO the same struct is used as the
+// "skb" template for a whole TSO segment (payload up to 64 KB) — the NIC
+// replicates all header fields, including the Presto flowcell ID and shadow
+// MAC, onto every derived MTU packet, exactly as described in §3.1.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "net/flow_key.h"
+#include "net/types.h"
+#include "sim/time.h"
+
+namespace presto::net {
+
+/// Maximum TCP payload per on-the-wire packet (MSS).
+inline constexpr std::uint32_t kMss = 1448;
+
+/// Maximum TSO segment payload (the paper's flowcell granularity).
+inline constexpr std::uint32_t kMaxTsoBytes = 65536;
+
+/// Ethernet+IP+TCP header bytes per frame.
+inline constexpr std::uint32_t kHeaderBytes = 66;
+
+/// Extra line occupancy per frame: preamble (8) + inter-frame gap (12).
+inline constexpr std::uint32_t kFramingBytes = 20;
+
+/// One SACK block: [start, end) of received bytes.
+struct SackBlock {
+  std::uint64_t start = 0;
+  std::uint64_t end = 0;
+  bool empty() const { return start == end; }
+};
+
+/// Simulated frame (or pre-TSO segment template).
+struct Packet {
+  // --- L2: forwarding label ------------------------------------------------
+  /// Destination MAC. Either a real host MAC or a Presto shadow MAC (label).
+  MacAddr dst_mac = kInvalidMac;
+
+  // --- L3/L4 identity ------------------------------------------------------
+  HostId src_host = 0;
+  HostId dst_host = 0;
+  /// Direction-specific flow identity (src = this packet's sender).
+  FlowKey flow;
+
+  // --- TCP -----------------------------------------------------------------
+  /// First payload byte's offset in the sender's stream.
+  std::uint64_t seq = 0;
+  /// Payload length; 0 for a pure ACK.
+  std::uint32_t payload = 0;
+  /// Cumulative ACK (next expected byte) — valid when `is_ack`.
+  std::uint64_t ack = 0;
+  bool is_ack = false;
+  /// Marks a retransmitted data packet (diagnostics only; Presto GRO infers
+  /// retransmissions from sequence numbers as in the paper).
+  bool is_retx = false;
+  /// Up to 3 SACK blocks (valid when `is_ack`).
+  std::array<SackBlock, 3> sack{};
+  /// Echoed send timestamp of the packet that triggered this ACK (models the
+  /// TCP timestamp option; used for RTT estimation).
+  sim::Time ts_echo = 0;
+  /// Time this packet's payload left the sending TCP (echoed back in ACKs).
+  sim::Time ts_sent = 0;
+
+  // --- Presto metadata -----------------------------------------------------
+  /// Sequentially increasing flowcell ID assigned by the sender vSwitch
+  /// (carried in the source MAC / a TCP option on the wire; see §3.1).
+  std::uint64_t flowcell_id = 0;
+  /// Extra input to per-hop ECMP hashing. Zero for classic flow-hash ECMP;
+  /// set to the flowcell ID in "Presto + ECMP" mode (§5, Figure 14).
+  std::uint64_t ecmp_extra = 0;
+
+  /// Bytes occupying the wire when this frame is serialized.
+  std::uint32_t wire_bytes() const {
+    return payload + kHeaderBytes + kFramingBytes;
+  }
+  /// Frame bytes as seen by switch buffers (no preamble/IFG).
+  std::uint32_t buffer_bytes() const { return payload + kHeaderBytes; }
+
+  std::uint64_t end_seq() const { return seq + payload; }
+};
+
+}  // namespace presto::net

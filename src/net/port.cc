@@ -1,0 +1,47 @@
+#include "net/port.h"
+
+#include <utility>
+
+namespace presto::net {
+
+void TxPort::enqueue(Packet p) {
+  if (down_ || peer_ == nullptr ||
+      queued_bytes_ + p.buffer_bytes() > cfg_.queue_bytes) {
+    ++counters_.dropped_packets;
+    counters_.dropped_bytes += p.buffer_bytes();
+    return;
+  }
+  ++counters_.enqueued_packets;
+  queued_bytes_ += p.buffer_bytes();
+  queue_.push_back(std::move(p));
+  if (!busy_) start_transmission();
+}
+
+void TxPort::start_transmission() {
+  busy_ = true;
+  const Packet& head = queue_.front();
+  const double bits = 8.0 * head.wire_bytes();
+  const auto ser_ns =
+      static_cast<sim::Time>(bits / cfg_.rate_bps * 1e9 + 0.5);
+  sim_.schedule(ser_ns, [this] {
+    Packet p = std::move(queue_.front());
+    queue_.pop_front();
+    queued_bytes_ -= p.buffer_bytes();
+    ++counters_.tx_packets;
+    counters_.tx_bytes += p.buffer_bytes();
+    if (!down_ && peer_ != nullptr) {
+      // Propagate to the far end.
+      sim_.schedule(cfg_.propagation,
+                    [this, p = std::move(p)]() mutable {
+                      peer_->receive(std::move(p), peer_in_port_);
+                    });
+    }
+    if (!queue_.empty()) {
+      start_transmission();
+    } else {
+      busy_ = false;
+    }
+  });
+}
+
+}  // namespace presto::net

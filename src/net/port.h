@@ -1,0 +1,82 @@
+// Output port: drop-tail byte-limited FIFO + link serializer + propagation.
+//
+// This fuses the classic "queue + link" pair: enqueue() appends to the
+// drop-tail queue (counting drops when the byte cap is exceeded); an idle
+// serializer drains the queue at the configured line rate and delivers each
+// frame to the attached peer after the propagation delay.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+
+#include "net/packet.h"
+#include "net/sink.h"
+#include "sim/simulation.h"
+
+namespace presto::net {
+
+/// Static configuration of a unidirectional link attached to a port.
+struct LinkConfig {
+  /// Line rate in bits per second (default 10 GbE).
+  double rate_bps = 10e9;
+  /// One-way propagation delay.
+  sim::Time propagation = 500 * sim::kNanosecond;
+  /// Drop-tail queue capacity in buffered bytes (frame bytes, no framing).
+  std::uint64_t queue_bytes = 500 * 1024;
+};
+
+/// Per-port counters (the paper reads loss from switch counters; see §4).
+struct PortCounters {
+  std::uint64_t tx_packets = 0;
+  std::uint64_t tx_bytes = 0;
+  std::uint64_t enqueued_packets = 0;
+  std::uint64_t dropped_packets = 0;
+  std::uint64_t dropped_bytes = 0;
+};
+
+/// Unidirectional output port. The peer sink/port are fixed at wiring time.
+class TxPort {
+ public:
+  TxPort(sim::Simulation& sim, LinkConfig cfg) : sim_(sim), cfg_(cfg) {}
+
+  TxPort(const TxPort&) = delete;
+  TxPort& operator=(const TxPort&) = delete;
+
+  /// Attaches the receiving end: frames are delivered to
+  /// `peer->receive(p, peer_in_port)`.
+  void connect(PacketSink* peer, PortId peer_in_port) {
+    peer_ = peer;
+    peer_in_port_ = peer_in_port;
+  }
+
+  /// Queues a frame for transmission; drops it (and counts the drop) if the
+  /// queue is full or the link is administratively down.
+  void enqueue(Packet p);
+
+  /// Administrative/link state. A down port drops everything enqueued.
+  void set_down(bool down) { down_ = down; }
+  bool down() const { return down_; }
+
+  const PortCounters& counters() const { return counters_; }
+  const LinkConfig& config() const { return cfg_; }
+
+  /// Currently queued bytes (excludes the frame being serialized).
+  std::uint64_t queued_bytes() const { return queued_bytes_; }
+  bool connected() const { return peer_ != nullptr; }
+
+ private:
+  void start_transmission();
+
+  sim::Simulation& sim_;
+  LinkConfig cfg_;
+  PacketSink* peer_ = nullptr;
+  PortId peer_in_port_ = kInvalidPort;
+
+  std::deque<Packet> queue_;
+  std::uint64_t queued_bytes_ = 0;
+  bool busy_ = false;
+  bool down_ = false;
+  PortCounters counters_;
+};
+
+}  // namespace presto::net

@@ -1,0 +1,17 @@
+// Interface implemented by every node that can receive packets.
+#pragma once
+
+#include "net/packet.h"
+
+namespace presto::net {
+
+/// A network element that accepts frames arriving on one of its ports.
+class PacketSink {
+ public:
+  virtual ~PacketSink() = default;
+
+  /// Delivers `p`, which arrived on local port `in_port`.
+  virtual void receive(Packet p, PortId in_port) = 0;
+};
+
+}  // namespace presto::net

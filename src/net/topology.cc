@@ -1,0 +1,114 @@
+#include "net/topology.h"
+
+#include <stdexcept>
+
+namespace presto::net {
+
+SwitchId Topology::add_switch(const std::string& name, bool is_leaf) {
+  const auto id = static_cast<SwitchId>(switches_.size());
+  switches_.push_back(std::make_unique<Switch>(sim_, id, name));
+  (is_leaf ? leaves_ : spines_).push_back(id);
+  return id;
+}
+
+void Topology::add_fabric_links(SwitchId leaf, SwitchId spine,
+                                std::uint32_t gamma, const LinkConfig& cfg) {
+  Switch& l = get_switch(leaf);
+  Switch& s = get_switch(spine);
+  for (std::uint32_t g = 0; g < gamma; ++g) {
+    const PortId lp = l.add_port(cfg);
+    const PortId sp = s.add_port(cfg);
+    l.port(lp).connect(&s, sp);
+    s.port(sp).connect(&l, lp);
+    fabric_links_.push_back(FabricLink{leaf, lp, spine, sp, g});
+  }
+}
+
+HostId Topology::add_host(SwitchId edge, const LinkConfig& cfg) {
+  Switch& e = get_switch(edge);
+  const PortId ep = e.add_port(cfg);
+  hosts_.push_back(HostAttachment{edge, ep, cfg});
+  return static_cast<HostId>(hosts_.size() - 1);
+}
+
+void Topology::connect_host(HostId h, PacketSink* host_sink,
+                            TxPort& host_uplink) {
+  const HostAttachment& at = hosts_.at(h);
+  Switch& e = get_switch(at.edge_switch);
+  e.port(at.edge_port).connect(host_sink, 0);
+  host_uplink.connect(&e, at.edge_port);
+}
+
+std::vector<HostId> Topology::hosts_on(SwitchId edge) const {
+  std::vector<HostId> out;
+  for (HostId h = 0; h < hosts_.size(); ++h) {
+    if (hosts_[h].edge_switch == edge) out.push_back(h);
+  }
+  return out;
+}
+
+bool Topology::set_fabric_link_down(SwitchId leaf, SwitchId spine,
+                                    std::uint32_t group, bool down) {
+  for (const FabricLink& fl : fabric_links_) {
+    if (fl.leaf == leaf && fl.spine == spine && fl.group == group) {
+      get_switch(fl.leaf).port(fl.leaf_port).set_down(down);
+      get_switch(fl.spine).port(fl.spine_port).set_down(down);
+      return true;
+    }
+  }
+  return false;
+}
+
+std::uint64_t Topology::total_drops() const {
+  std::uint64_t sum = 0;
+  for (const auto& sw : switches_) {
+    sum += sw->total_counters().dropped_packets + sw->no_route_drops();
+  }
+  return sum;
+}
+
+std::uint64_t Topology::total_enqueued() const {
+  std::uint64_t sum = 0;
+  for (const auto& sw : switches_) sum += sw->total_counters().enqueued_packets;
+  return sum;
+}
+
+std::unique_ptr<Topology> make_clos(sim::Simulation& sim,
+                                    std::uint32_t num_spines,
+                                    std::uint32_t num_leaves,
+                                    std::uint32_t hosts_per_leaf,
+                                    const TopoParams& params) {
+  if (num_spines == 0 || num_leaves == 0) {
+    throw std::invalid_argument("Clos requires >=1 spine and >=1 leaf");
+  }
+  auto topo = std::make_unique<Topology>(sim);
+  std::vector<SwitchId> spines;
+  spines.reserve(num_spines);
+  for (std::uint32_t i = 0; i < num_spines; ++i) {
+    spines.push_back(topo->add_switch("S" + std::to_string(i + 1), false));
+  }
+  for (std::uint32_t i = 0; i < num_leaves; ++i) {
+    const SwitchId leaf =
+        topo->add_switch("L" + std::to_string(i + 1), true);
+    for (SwitchId spine : spines) {
+      topo->add_fabric_links(leaf, spine, params.gamma, params.fabric_link);
+    }
+    for (std::uint32_t h = 0; h < hosts_per_leaf; ++h) {
+      topo->add_host(leaf, params.host_link);
+    }
+  }
+  return topo;
+}
+
+std::unique_ptr<Topology> make_single_switch(sim::Simulation& sim,
+                                             std::uint32_t num_hosts,
+                                             const TopoParams& params) {
+  auto topo = std::make_unique<Topology>(sim);
+  const SwitchId sw = topo->add_switch("SW", true);
+  for (std::uint32_t h = 0; h < num_hosts; ++h) {
+    topo->add_host(sw, params.host_link);
+  }
+  return topo;
+}
+
+}  // namespace presto::net

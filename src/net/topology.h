@@ -1,0 +1,115 @@
+// Physical topology container and builders.
+//
+// A Topology owns the switches and the wiring metadata (who connects to whom
+// through which port). Hosts are created by the experiment harness and then
+// attached via `connect_host()`. Builders cover the paper's testbeds:
+//   - 2-tier Clos (Figure 3: 4 spines x 4 leaves x 4 hosts),
+//   - the scalability topology (Figure 4a: 2 leaves, 2..8 spines),
+//   - the oversubscription topology (Figure 4b: 2 spines, 2 leaves),
+//   - a single non-blocking switch (the paper's "Optimal" baseline).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/port.h"
+#include "net/switch.h"
+#include "net/types.h"
+#include "sim/simulation.h"
+
+namespace presto::net {
+
+/// Where a host plugs into the fabric.
+struct HostAttachment {
+  SwitchId edge_switch = 0;   ///< Usually a leaf; a spine for "remote users".
+  PortId edge_port = kInvalidPort;  ///< Edge switch's port facing the host.
+  LinkConfig link;            ///< Config of the host<->edge links.
+};
+
+/// One leaf<->spine cable (there are `gamma` parallel ones per pair).
+struct FabricLink {
+  SwitchId leaf = 0;
+  PortId leaf_port = kInvalidPort;   ///< Leaf's port toward the spine.
+  SwitchId spine = 0;
+  PortId spine_port = kInvalidPort;  ///< Spine's port toward the leaf.
+  std::uint32_t group = 0;           ///< Parallel-link index in [0, gamma).
+};
+
+class Topology {
+ public:
+  explicit Topology(sim::Simulation& sim) : sim_(sim) {}
+
+  Topology(const Topology&) = delete;
+  Topology& operator=(const Topology&) = delete;
+
+  /// Creates a switch; `is_leaf` controls which role list it joins.
+  SwitchId add_switch(const std::string& name, bool is_leaf);
+
+  /// Wires `gamma` parallel bidirectional links between a leaf and a spine.
+  void add_fabric_links(SwitchId leaf, SwitchId spine, std::uint32_t gamma,
+                        const LinkConfig& cfg);
+
+  /// Reserves a host slot attached to `edge` (port allocated now; the Host
+  /// object is connected later). Returns the new HostId (dense, 0-based).
+  HostId add_host(SwitchId edge, const LinkConfig& cfg);
+
+  /// Connects a Host's sink + uplink port to its edge switch.
+  /// `host_uplink` is the host's TxPort toward the fabric.
+  void connect_host(HostId h, PacketSink* host_sink, TxPort& host_uplink);
+
+  Switch& get_switch(SwitchId id) { return *switches_.at(id); }
+  const Switch& get_switch(SwitchId id) const { return *switches_.at(id); }
+
+  const std::vector<SwitchId>& leaves() const { return leaves_; }
+  const std::vector<SwitchId>& spines() const { return spines_; }
+  const std::vector<FabricLink>& fabric_links() const { return fabric_links_; }
+  const HostAttachment& host(HostId h) const { return hosts_.at(h); }
+  std::size_t host_count() const { return hosts_.size(); }
+  std::size_t switch_count() const { return switches_.size(); }
+
+  /// Hosts attached to the given edge switch.
+  std::vector<HostId> hosts_on(SwitchId edge) const;
+
+  /// Takes down (or restores) both directions of a fabric link.
+  /// Returns false if no such link exists.
+  bool set_fabric_link_down(SwitchId leaf, SwitchId spine, std::uint32_t group,
+                            bool down);
+
+  /// Sum of dropped packets across all switch ports + no-route drops.
+  std::uint64_t total_drops() const;
+  /// Sum of packets enqueued across all switch ports.
+  std::uint64_t total_enqueued() const;
+
+  sim::Simulation& sim() { return sim_; }
+
+ private:
+  sim::Simulation& sim_;
+  std::vector<std::unique_ptr<Switch>> switches_;
+  std::vector<SwitchId> leaves_;
+  std::vector<SwitchId> spines_;
+  std::vector<HostAttachment> hosts_;
+  std::vector<FabricLink> fabric_links_;
+};
+
+/// Parameters shared by the topology builders.
+struct TopoParams {
+  LinkConfig host_link;
+  LinkConfig fabric_link;
+  std::uint32_t gamma = 1;  ///< Parallel links per (leaf, spine) pair.
+};
+
+/// 2-tier Clos: `num_spines` x `num_leaves`, `hosts_per_leaf` hosts each.
+std::unique_ptr<Topology> make_clos(sim::Simulation& sim,
+                                    std::uint32_t num_spines,
+                                    std::uint32_t num_leaves,
+                                    std::uint32_t hosts_per_leaf,
+                                    const TopoParams& params = {});
+
+/// Single non-blocking switch with `num_hosts` hosts (the Optimal baseline).
+std::unique_ptr<Topology> make_single_switch(sim::Simulation& sim,
+                                             std::uint32_t num_hosts,
+                                             const TopoParams& params = {});
+
+}  // namespace presto::net

@@ -1,0 +1,47 @@
+// Generic Receive Offload engine interface.
+//
+// The NIC driver delivers a batch of packets per interrupt (interrupt
+// coalescing); the host calls on_packet() for each and then flush() once at
+// the end of the poll, mirroring the Linux napi_gro_receive()/napi_gro_flush()
+// pair described in §2.2 of the paper.
+#pragma once
+
+#include <functional>
+
+#include "net/packet.h"
+#include "offload/segment.h"
+#include "sim/time.h"
+
+namespace presto::offload {
+
+/// Abstract GRO handler. Implementations push merged segments up the stack
+/// through the callback supplied at construction.
+class GroEngine {
+ public:
+  using PushFn = std::function<void(Segment)>;
+
+  explicit GroEngine(PushFn push) : push_(std::move(push)) {}
+  virtual ~GroEngine() = default;
+
+  GroEngine(const GroEngine&) = delete;
+  GroEngine& operator=(const GroEngine&) = delete;
+
+  /// Offers one received data packet (payload > 0) to the merge logic.
+  virtual void on_packet(const net::Packet& p, sim::Time now) = 0;
+
+  /// End-of-poll flush: decides which segments to push up and which (for
+  /// Presto GRO) to hold awaiting reordered packets.
+  virtual void flush(sim::Time now) = 0;
+
+  /// True if segments are being held (the host must schedule a later flush
+  /// so held segments cannot stall when the NIC goes idle).
+  virtual bool has_held_segments() const = 0;
+
+ protected:
+  void push_up(Segment s) { push_(std::move(s)); }
+
+ private:
+  PushFn push_;
+};
+
+}  // namespace presto::offload

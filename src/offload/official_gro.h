@@ -1,0 +1,32 @@
+// Stock Linux GRO model ("Official GRO" in the paper).
+//
+// One in-progress segment per flow. An in-order packet (seq == segment end)
+// merges; anything else forces the existing segment up the stack and starts a
+// new one — which under reordering degenerates into pushing MTU-sized
+// segments ("small segment flooding", §2.2, Figure 2). flush() pushes
+// everything unconditionally.
+#pragma once
+
+#include <unordered_map>
+
+#include "offload/gro.h"
+
+namespace presto::offload {
+
+class OfficialGro : public GroEngine {
+ public:
+  /// `max_segment_bytes` models the 64 KB sk_buff cap.
+  explicit OfficialGro(PushFn push,
+                       std::uint32_t max_segment_bytes = net::kMaxTsoBytes)
+      : GroEngine(std::move(push)), max_bytes_(max_segment_bytes) {}
+
+  void on_packet(const net::Packet& p, sim::Time now) override;
+  void flush(sim::Time now) override;
+  bool has_held_segments() const override { return false; }
+
+ private:
+  std::uint32_t max_bytes_;
+  std::unordered_map<net::FlowKey, Segment, net::FlowKeyHash> gro_list_;
+};
+
+}  // namespace presto::offload

@@ -1,0 +1,49 @@
+// Receive-offload segment: the unit GRO pushes up the networking stack.
+#pragma once
+
+#include <cstdint>
+
+#include "net/flow_key.h"
+#include "net/packet.h"
+#include "sim/time.h"
+
+namespace presto::offload {
+
+/// A run of merged, sequence-contiguous packets from one flow (and, for
+/// Presto GRO, from one flowcell — flowcells are <= 64 KB so a segment never
+/// spans flowcell boundaries).
+struct Segment {
+  net::FlowKey flow;
+  std::uint64_t start_seq = 0;
+  std::uint64_t end_seq = 0;       ///< One past the last payload byte.
+  std::uint64_t flowcell = 0;      ///< Flowcell ID of the merged packets.
+  std::uint32_t pkt_count = 0;     ///< MTU packets merged into this segment.
+  bool contains_retx = false;      ///< Diagnostics only.
+  sim::Time ts_sent = 0;           ///< ts_sent of the newest merged packet.
+
+  // Receiver-side bookkeeping (Presto GRO timeout machinery, §3.2).
+  sim::Time first_rx = 0;      ///< When the first packet arrived.
+  sim::Time last_merge = 0;    ///< When the newest packet was merged.
+  sim::Time held_since = -1;   ///< When a boundary gap was detected (-1 = not held).
+
+  std::uint32_t bytes() const {
+    return static_cast<std::uint32_t>(end_seq - start_seq);
+  }
+};
+
+/// Creates a fresh segment from a single data packet.
+inline Segment segment_from(const net::Packet& p, sim::Time now) {
+  Segment s;
+  s.flow = p.flow;
+  s.start_seq = p.seq;
+  s.end_seq = p.end_seq();
+  s.flowcell = p.flowcell_id;
+  s.pkt_count = 1;
+  s.contains_retx = p.is_retx;
+  s.ts_sent = p.ts_sent;
+  s.first_rx = now;
+  s.last_merge = now;
+  return s;
+}
+
+}  // namespace presto::offload

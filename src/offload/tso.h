@@ -1,0 +1,33 @@
+// TCP Segmentation Offload model.
+//
+// The TCP stack hands the vSwitch/NIC one large segment (up to 64 KB); the
+// NIC splits it into MSS-sized wire packets, replicating all header fields —
+// including the shadow MAC and flowcell ID the vSwitch wrote into the
+// template — onto every derived packet (§3.1).
+#pragma once
+
+#include <vector>
+
+#include "net/packet.h"
+
+namespace presto::offload {
+
+/// Splits `segment` (payload up to net::kMaxTsoBytes) into MSS-sized packets
+/// appended to `out`. A zero-payload template yields a single pure-ACK frame.
+inline void tso_split(const net::Packet& segment, std::vector<net::Packet>& out,
+                      std::uint32_t mss = net::kMss) {
+  if (segment.payload == 0) {
+    out.push_back(segment);
+    return;
+  }
+  std::uint32_t offset = 0;
+  while (offset < segment.payload) {
+    net::Packet p = segment;  // replicate headers + metadata
+    p.seq = segment.seq + offset;
+    p.payload = std::min(mss, segment.payload - offset);
+    out.push_back(p);
+    offset += p.payload;
+  }
+}
+
+}  // namespace presto::offload

@@ -1,0 +1,14 @@
+#include "sim/rng.h"
+
+#include <cmath>
+
+namespace presto::sim {
+
+double Rng::exponential(double mean) {
+  // Inverse-CDF sampling; clamp u away from 0 to avoid log(0).
+  double u = uniform();
+  if (u <= 0.0) u = 0x1.0p-53;
+  return -mean * std::log(u);
+}
+
+}  // namespace presto::sim

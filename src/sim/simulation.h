@@ -1,0 +1,93 @@
+// Discrete-event simulation engine.
+//
+// A Simulation owns the virtual clock and a min-heap of pending events.
+// Components capture a Simulation& and call schedule()/schedule_at() to post
+// callbacks; run()/run_until() drains the heap in timestamp order. Ties are
+// broken by insertion order (FIFO), which keeps packet processing at equal
+// timestamps deterministic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace presto::sim {
+
+/// Discrete-event scheduler and virtual clock. Not thread-safe: a simulation
+/// runs on a single thread by design (determinism over parallelism).
+class Simulation {
+ public:
+  using Callback = std::function<void()>;
+
+  Simulation() = default;
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  /// Current virtual time.
+  Time now() const { return now_; }
+
+  /// Schedules `cb` to run `delay` ns from now. Negative delays are clamped
+  /// to zero (run "immediately", after already-queued events at `now`).
+  void schedule(Time delay, Callback cb) {
+    schedule_at(now_ + (delay < 0 ? 0 : delay), std::move(cb));
+  }
+
+  /// Schedules `cb` at absolute time `when` (clamped to now()).
+  void schedule_at(Time when, Callback cb) {
+    if (when < now_) when = now_;
+    heap_.push(Event{when, next_seq_++, std::move(cb)});
+  }
+
+  /// Runs events until the heap is empty or `stop()` is called.
+  void run() { run_until(kTimeNever); }
+
+  /// Runs events with timestamp <= `deadline`; afterwards now() == deadline
+  /// (unless the heap drained earlier or stop() was called, in which case
+  /// now() is the time of the last executed event).
+  void run_until(Time deadline) {
+    stopped_ = false;
+    while (!stopped_ && !heap_.empty() && heap_.top().when <= deadline) {
+      // Move the callback out before popping so it survives re-entrant
+      // scheduling from inside the callback.
+      Event ev = std::move(const_cast<Event&>(heap_.top()));
+      heap_.pop();
+      now_ = ev.when;
+      ++executed_;
+      ev.cb();
+    }
+    if (!stopped_ && deadline != kTimeNever && now_ < deadline) {
+      now_ = deadline;
+    }
+  }
+
+  /// Stops run()/run_until() after the current event returns.
+  void stop() { stopped_ = true; }
+
+  /// Number of pending events (for tests/diagnostics).
+  std::size_t pending() const { return heap_.size(); }
+
+  /// Total number of events executed so far.
+  std::uint64_t executed() const { return executed_; }
+
+ private:
+  struct Event {
+    Time when;
+    std::uint64_t seq;  // FIFO tie-break
+    Callback cb;
+    bool operator>(const Event& o) const {
+      return when != o.when ? when > o.when : seq > o.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> heap_;
+  Time now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+  bool stopped_ = false;
+};
+
+}  // namespace presto::sim

@@ -1,0 +1,32 @@
+// Simulation time: 64-bit signed nanoseconds since experiment start.
+//
+// A plain integer (rather than std::chrono) keeps the hot event loop branch-
+// free and trivially serializable; helper constants make call sites readable
+// (e.g. `schedule(500 * kMicrosecond, ...)`).
+#pragma once
+
+#include <cstdint>
+
+namespace presto::sim {
+
+/// Simulation timestamp or duration in nanoseconds.
+using Time = std::int64_t;
+
+inline constexpr Time kNanosecond = 1;
+inline constexpr Time kMicrosecond = 1'000;
+inline constexpr Time kMillisecond = 1'000'000;
+inline constexpr Time kSecond = 1'000'000'000;
+
+/// Sentinel for "no deadline".
+inline constexpr Time kTimeNever = INT64_MAX;
+
+/// Converts a simulation duration to floating-point seconds (for reporting).
+constexpr double to_seconds(Time t) { return static_cast<double>(t) / 1e9; }
+
+/// Converts a simulation duration to floating-point milliseconds.
+constexpr double to_millis(Time t) { return static_cast<double>(t) / 1e6; }
+
+/// Converts a simulation duration to floating-point microseconds.
+constexpr double to_micros(Time t) { return static_cast<double>(t) / 1e3; }
+
+}  // namespace presto::sim

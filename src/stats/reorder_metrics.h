@@ -1,0 +1,70 @@
+// Reordering metrics from GRO-pushed segments (Figure 5).
+//
+// Attach as a Host segment tap. Two distributions are produced:
+//   * out-of-order segment count (Fig 5a): for each flowcell, the number of
+//     pushed segments belonging to *other* flowcells that appear between the
+//     flowcell's first and last pushed segment — exactly the paper's metric,
+//     computed over the pushed-segment trace; zero means reordering was
+//     fully masked before TCP;
+//   * pushed segment sizes (Fig 5b): small sizes indicate the small-segment
+//     flooding problem.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "net/flow_key.h"
+#include "offload/segment.h"
+#include "stats/samples.h"
+
+namespace presto::stats {
+
+class ReorderMetrics {
+ public:
+  ReorderMetrics() = default;
+
+  void on_segment(const offload::Segment& s) {
+    segment_sizes_.add(static_cast<double>(s.bytes()));
+    flows_[s.flow].push_back(s.flowcell);
+  }
+
+  /// Computes the per-flowcell interleave counts from the recorded traces.
+  /// Call once after the experiment; further on_segment() calls start a new
+  /// accumulation.
+  void finish() {
+    for (auto& [flow, trace] : flows_) {
+      // Per flowcell: first/last index in the pushed trace and the number of
+      // its own segments in between.
+      struct Span {
+        std::size_t first, last;
+        std::size_t own;
+      };
+      std::unordered_map<std::uint64_t, Span> spans;
+      for (std::size_t i = 0; i < trace.size(); ++i) {
+        auto [it, inserted] = spans.try_emplace(trace[i], Span{i, i, 1});
+        if (!inserted) {
+          it->second.last = i;
+          ++it->second.own;
+        }
+      }
+      for (const auto& [fc, span] : spans) {
+        const std::size_t width = span.last - span.first + 1;
+        ooo_counts_.add(static_cast<double>(width - span.own));
+      }
+    }
+    flows_.clear();
+  }
+
+  const Samples& out_of_order_counts() const { return ooo_counts_; }
+  const Samples& segment_sizes() const { return segment_sizes_; }
+
+ private:
+  std::unordered_map<net::FlowKey, std::vector<std::uint64_t>,
+                     net::FlowKeyHash>
+      flows_;
+  Samples ooo_counts_;
+  Samples segment_sizes_;
+};
+
+}  // namespace presto::stats

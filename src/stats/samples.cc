@@ -1,0 +1,22 @@
+#include "stats/samples.h"
+
+namespace presto::stats {
+
+void Samples::print_cdf(const std::string& label, std::size_t points) const {
+  if (values_.empty()) {
+    std::printf("%s: (no samples)\n", label.c_str());
+    return;
+  }
+  ensure_sorted();
+  const std::size_t n = values_.size();
+  std::printf("%s CDF (%zu samples):\n", label.c_str(), n);
+  for (std::size_t i = 0; i < points; ++i) {
+    const double frac =
+        static_cast<double>(i + 1) / static_cast<double>(points);
+    auto idx = static_cast<std::size_t>(frac * static_cast<double>(n));
+    if (idx >= n) idx = n - 1;
+    std::printf("  p%-6.2f %12.4f\n", frac * 100.0, values_[idx]);
+  }
+}
+
+}  // namespace presto::stats

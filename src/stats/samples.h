@@ -1,0 +1,89 @@
+// Sample collector with percentile/CDF reporting.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace presto::stats {
+
+/// Accumulates doubles; percentiles computed on demand.
+class Samples {
+ public:
+  void add(double v) {
+    values_.push_back(v);
+    sorted_ = false;
+  }
+
+  std::size_t count() const { return values_.size(); }
+  bool empty() const { return values_.empty(); }
+
+  double mean() const {
+    if (values_.empty()) return 0;
+    double s = 0;
+    for (double v : values_) s += v;
+    return s / static_cast<double>(values_.size());
+  }
+
+  double min() const {
+    return values_.empty()
+               ? 0
+               : *std::min_element(values_.begin(), values_.end());
+  }
+  double max() const {
+    return values_.empty()
+               ? 0
+               : *std::max_element(values_.begin(), values_.end());
+  }
+
+  /// p in [0, 100]; nearest-rank on the sorted data.
+  double percentile(double p) const {
+    if (values_.empty()) return 0;
+    ensure_sorted();
+    const double rank = p / 100.0 * (static_cast<double>(values_.size()) - 1);
+    const auto lo = static_cast<std::size_t>(std::floor(rank));
+    const auto hi = static_cast<std::size_t>(std::ceil(rank));
+    const double frac = rank - static_cast<double>(lo);
+    return values_[lo] * (1 - frac) + values_[hi] * frac;
+  }
+
+  /// Emits up to `points` (value, cumulative-fraction) CDF rows to stdout,
+  /// prefixed with `label`.
+  void print_cdf(const std::string& label, std::size_t points = 20) const;
+
+  /// Merges another collector's samples into this one.
+  void merge(const Samples& other) {
+    values_.insert(values_.end(), other.values_.begin(), other.values_.end());
+    sorted_ = false;
+  }
+
+  const std::vector<double>& values() const { return values_; }
+
+ private:
+  void ensure_sorted() const {
+    if (!sorted_) {
+      std::sort(values_.begin(), values_.end());
+      sorted_ = true;
+    }
+  }
+
+  mutable std::vector<double> values_;
+  mutable bool sorted_ = false;
+};
+
+/// Jain's fairness index over per-flow throughputs (§4): (sum x)^2 / (n * sum x^2).
+inline double jain_index(const std::vector<double>& xs) {
+  if (xs.empty()) return 1.0;
+  double sum = 0, sum_sq = 0;
+  for (double x : xs) {
+    sum += x;
+    sum_sq += x * x;
+  }
+  if (sum_sq <= 0) return 1.0;
+  return sum * sum / (static_cast<double>(xs.size()) * sum_sq);
+}
+
+}  // namespace presto::stats

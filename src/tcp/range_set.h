@@ -1,0 +1,120 @@
+// Ordered set of disjoint half-open byte ranges [start, end).
+//
+// Used for the receiver's out-of-order store and the sender's SACK
+// scoreboard. Ranges merge on insert; queries are O(log n).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace presto::tcp {
+
+class RangeSet {
+ public:
+  /// Inserts [start, end), merging with overlapping/adjacent ranges.
+  void add(std::uint64_t start, std::uint64_t end) {
+    if (start >= end) return;
+    auto it = ranges_.upper_bound(start);
+    if (it != ranges_.begin()) {
+      auto prev = std::prev(it);
+      if (prev->second >= start) {
+        start = prev->first;
+        end = std::max(end, prev->second);
+        it = ranges_.erase(prev);
+      }
+    }
+    while (it != ranges_.end() && it->first <= end) {
+      end = std::max(end, it->second);
+      it = ranges_.erase(it);
+    }
+    ranges_.emplace(start, end);
+  }
+
+  /// Removes all bytes below `seq`.
+  void trim_below(std::uint64_t seq) {
+    auto it = ranges_.begin();
+    while (it != ranges_.end() && it->second <= seq) it = ranges_.erase(it);
+    if (it != ranges_.end() && it->first < seq) {
+      std::uint64_t end = it->second;
+      ranges_.erase(it);
+      ranges_.emplace(seq, end);
+    }
+  }
+
+  /// True if every byte of [start, end) is present.
+  bool covers(std::uint64_t start, std::uint64_t end) const {
+    if (start >= end) return true;
+    auto it = ranges_.upper_bound(start);
+    if (it == ranges_.begin()) return false;
+    --it;
+    return it->first <= start && end <= it->second;
+  }
+
+  /// True if any byte of [start, end) is present.
+  bool intersects(std::uint64_t start, std::uint64_t end) const {
+    if (start >= end) return false;
+    auto it = ranges_.upper_bound(start);
+    if (it != ranges_.begin() && std::prev(it)->second > start) return true;
+    return it != ranges_.end() && it->first < end;
+  }
+
+  /// Extends `seq` through any range beginning at/below it; returns the new
+  /// frontier (receiver's rcv_nxt advance). Consumed ranges — and any stale
+  /// ranges falling entirely below the resulting frontier — are dropped, so
+  /// a receiver's out-of-order store never reports data below rcv_nxt.
+  std::uint64_t advance(std::uint64_t seq) {
+    auto it = ranges_.begin();
+    while (it != ranges_.end() && it->first <= seq) {
+      seq = std::max(seq, it->second);
+      it = ranges_.erase(it);
+    }
+    return seq;
+  }
+
+  /// End of the range containing `seq`, or `seq` itself if absent.
+  std::uint64_t end_of_range_containing(std::uint64_t seq) const {
+    auto it = ranges_.upper_bound(seq);
+    if (it == ranges_.begin()) return seq;
+    --it;
+    return (it->first <= seq && seq < it->second) ? it->second : seq;
+  }
+
+  /// Start of the first range at/above `seq`, or `missing` if none.
+  std::uint64_t first_start_above(std::uint64_t seq,
+                                  std::uint64_t missing) const {
+    auto it = ranges_.lower_bound(seq + 1);
+    // A range containing seq+ may start at/before seq.
+    if (it != ranges_.begin() && std::prev(it)->second > seq) {
+      return std::prev(it)->first > seq ? std::prev(it)->first : seq;
+    }
+    return it != ranges_.end() ? it->first : missing;
+  }
+
+  /// Total bytes contained in [lo, hi).
+  std::uint64_t bytes_in(std::uint64_t lo, std::uint64_t hi) const {
+    std::uint64_t total = 0;
+    auto it = ranges_.upper_bound(lo);
+    if (it != ranges_.begin()) --it;
+    for (; it != ranges_.end() && it->first < hi; ++it) {
+      const std::uint64_t s = std::max(it->first, lo);
+      const std::uint64_t e = std::min(it->second, hi);
+      if (s < e) total += e - s;
+    }
+    return total;
+  }
+
+  void clear() { ranges_.clear(); }
+  bool empty() const { return ranges_.empty(); }
+  std::size_t size() const { return ranges_.size(); }
+
+  /// Snapshot of ranges in ascending order.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> snapshot() const {
+    return {ranges_.begin(), ranges_.end()};
+  }
+
+ private:
+  std::map<std::uint64_t, std::uint64_t> ranges_;  // start -> end
+};
+
+}  // namespace presto::tcp

@@ -1,0 +1,107 @@
+#include "workload/apps.h"
+
+namespace presto::workload {
+
+RpcChannel::RpcChannel(sim::Simulation& sim,
+                       std::unique_ptr<ByteChannel> request,
+                       std::unique_ptr<ByteChannel> response,
+                       std::uint32_t response_bytes)
+    : sim_(sim),
+      request_(std::move(request)),
+      response_(std::move(response)),
+      response_bytes_(response_bytes) {
+  request_->set_on_delivered(
+      [this](std::uint64_t d) { on_request_delivered(d); });
+  response_->set_on_delivered(
+      [this](std::uint64_t d) { on_response_delivered(d); });
+}
+
+void RpcChannel::issue(std::uint64_t bytes, DoneFn done) {
+  request_total_ += bytes;
+  response_total_ += response_bytes_;
+  awaiting_request_.push_back(
+      Pending{sim_.now(), request_total_, response_total_, std::move(done)});
+  request_->send(bytes);
+}
+
+void RpcChannel::on_request_delivered(std::uint64_t d) {
+  while (!awaiting_request_.empty() &&
+         awaiting_request_.front().request_target <= d) {
+    // Full request received: the server answers with the app-level ACK.
+    response_->send(response_bytes_);
+    awaiting_response_.push_back(std::move(awaiting_request_.front()));
+    awaiting_request_.pop_front();
+  }
+}
+
+void RpcChannel::on_response_delivered(std::uint64_t d) {
+  while (!awaiting_response_.empty() &&
+         awaiting_response_.front().response_target <= d) {
+    Pending p = std::move(awaiting_response_.front());
+    awaiting_response_.pop_front();
+    if (p.done) p.done(sim_.now() - p.start);
+  }
+}
+
+ElephantApp::ElephantApp(sim::Simulation& sim,
+                         std::unique_ptr<ByteChannel> channel,
+                         std::uint64_t size_bytes, CompleteFn on_complete)
+    : sim_(sim),
+      channel_(std::move(channel)),
+      size_(size_bytes),
+      start_(sim.now()),
+      on_complete_(std::move(on_complete)) {
+  if (size_ != 0) {
+    channel_->set_on_delivered([this](std::uint64_t d) {
+      if (d >= size_ && on_complete_) {
+        auto cb = std::move(on_complete_);
+        on_complete_ = nullptr;
+        cb(sim_.now() - start_);
+      }
+    });
+    offered_ = size_;
+    channel_->send(size_);
+  } else {
+    // Open-ended transfer: keep the send buffer comfortably ahead.
+    channel_->set_on_delivered([this](std::uint64_t d) {
+      if (offered_ - d < kRefillChunk / 2) {
+        offered_ += kRefillChunk;
+        channel_->send(kRefillChunk);
+      }
+    });
+    offered_ = kRefillChunk;
+    channel_->send(kRefillChunk);
+  }
+}
+
+PeriodicRpcApp::PeriodicRpcApp(sim::Simulation& sim, RpcChannel& channel,
+                               std::uint64_t request_bytes, sim::Time interval,
+                               sim::Time start_at, sim::Time stop_at,
+                               bool ping_pong)
+    : sim_(sim),
+      channel_(channel),
+      request_bytes_(request_bytes),
+      interval_(interval),
+      stop_at_(stop_at),
+      ping_pong_(ping_pong) {
+  sim_.schedule_at(start_at, [this] { tick(); });
+}
+
+void PeriodicRpcApp::tick() {
+  if (sim_.now() >= stop_at_) return;
+  if (ping_pong_ && channel_.outstanding() > 0) {
+    // sockperf-style: never queue a probe behind an unanswered one.
+    sim_.schedule(interval_, [this] { tick(); });
+    return;
+  }
+  const sim::Time issued_at = sim_.now();
+  channel_.issue(request_bytes_, [this, issued_at](sim::Time fct) {
+    if (issued_at >= measure_from_) {
+      fcts_.add(static_cast<double>(fct));
+    }
+    if (on_sample_) on_sample_(issued_at, fct);
+  });
+  sim_.schedule(interval_, [this] { tick(); });
+}
+
+}  // namespace presto::workload

@@ -1,0 +1,119 @@
+// Workload applications: request/response channels, elephants, probes.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+
+#include "sim/simulation.h"
+#include "stats/samples.h"
+#include "workload/channel.h"
+
+namespace presto::workload {
+
+/// Request/response exchange over a pair of ByteChannels: measures the time
+/// from issuing a request until the application-layer response is fully
+/// received — the paper's mice-FCT and RTT-probe metric (§4).
+/// Requests on one channel are serviced strictly in order.
+class RpcChannel {
+ public:
+  using DoneFn = std::function<void(sim::Time fct)>;
+
+  RpcChannel(sim::Simulation& sim, std::unique_ptr<ByteChannel> request,
+             std::unique_ptr<ByteChannel> response,
+             std::uint32_t response_bytes = 64);
+
+  /// Issues a request of `bytes`; `done` fires with the completion time.
+  void issue(std::uint64_t bytes, DoneFn done);
+
+  std::size_t outstanding() const {
+    return awaiting_request_.size() + awaiting_response_.size();
+  }
+  std::uint64_t timeouts() const {
+    return request_->timeouts() + response_->timeouts();
+  }
+
+ private:
+  struct Pending {
+    sim::Time start;
+    std::uint64_t request_target;
+    std::uint64_t response_target;
+    DoneFn done;
+  };
+
+  void on_request_delivered(std::uint64_t d);
+  void on_response_delivered(std::uint64_t d);
+
+  sim::Simulation& sim_;
+  std::unique_ptr<ByteChannel> request_;
+  std::unique_ptr<ByteChannel> response_;
+  std::uint32_t response_bytes_;
+  std::uint64_t request_total_ = 0;
+  std::uint64_t response_total_ = 0;
+  std::deque<Pending> awaiting_request_;
+  std::deque<Pending> awaiting_response_;
+};
+
+/// Bulk transfer. size == 0 means "run forever" (kept fed ahead of the
+/// receiver); otherwise `on_complete` fires when all bytes are delivered.
+class ElephantApp {
+ public:
+  using CompleteFn = std::function<void(sim::Time completion_time)>;
+
+  ElephantApp(sim::Simulation& sim, std::unique_ptr<ByteChannel> channel,
+              std::uint64_t size_bytes, CompleteFn on_complete = nullptr);
+
+  std::uint64_t delivered() const { return channel_->delivered(); }
+  bool complete() const {
+    return size_ != 0 && channel_->delivered() >= size_;
+  }
+  sim::Time start_time() const { return start_; }
+  ByteChannel& channel() { return *channel_; }
+
+ private:
+  static constexpr std::uint64_t kRefillChunk = 8 * 1024 * 1024;
+
+  sim::Simulation& sim_;
+  std::unique_ptr<ByteChannel> channel_;
+  std::uint64_t size_;
+  std::uint64_t offered_ = 0;
+  sim::Time start_;
+  CompleteFn on_complete_;
+};
+
+/// Periodically issues fixed-size RPCs on an RpcChannel and collects
+/// completion times (mice flows: 50 KB + app-level ACK; RTT probes: 64 B).
+class PeriodicRpcApp {
+ public:
+  /// `ping_pong` mimics sockperf: skip a tick while a request is still
+  /// outstanding so successive probes never queue behind each other.
+  PeriodicRpcApp(sim::Simulation& sim, RpcChannel& channel,
+                 std::uint64_t request_bytes, sim::Time interval,
+                 sim::Time start_at, sim::Time stop_at,
+                 bool ping_pong = false);
+
+  /// Completion times (ns) of requests issued inside [measure_from, ...).
+  const stats::Samples& fcts() const { return fcts_; }
+  void set_measure_from(sim::Time t) { measure_from_ = t; }
+
+  /// Optional raw tap: (issue time, completion time in ns) for every sample,
+  /// regardless of measure_from (failure-stage windowing, Figures 17-18).
+  using SampleFn = std::function<void(sim::Time issued_at, sim::Time fct)>;
+  void set_on_sample(SampleFn cb) { on_sample_ = std::move(cb); }
+
+ private:
+  void tick();
+
+  sim::Simulation& sim_;
+  RpcChannel& channel_;
+  std::uint64_t request_bytes_;
+  sim::Time interval_;
+  sim::Time stop_at_;
+  bool ping_pong_;
+  sim::Time measure_from_ = 0;
+  stats::Samples fcts_;
+  SampleFn on_sample_;
+};
+
+}  // namespace presto::workload

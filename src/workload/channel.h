@@ -1,0 +1,75 @@
+// Transport-agnostic byte stream between two hosts.
+//
+// Workload apps (elephants, RPCs, probes) are written against ByteChannel so
+// the same experiment code runs over plain TCP and over MPTCP (§4 compares
+// both under identical workloads).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "host/host.h"
+#include "lb/mptcp.h"
+#include "net/flow_key.h"
+
+namespace presto::workload {
+
+class ByteChannel {
+ public:
+  using DeliveredFn = std::function<void(std::uint64_t)>;
+
+  virtual ~ByteChannel() = default;
+
+  /// Appends `bytes` to the stream.
+  virtual void send(std::uint64_t bytes) = 0;
+  /// In-order bytes available at the receiver.
+  virtual std::uint64_t delivered() const = 0;
+  /// Fires whenever delivered() advances.
+  virtual void set_on_delivered(DeliveredFn cb) = 0;
+  /// Aggregate retransmission timeouts (TIMEOUT reporting, Table 2).
+  virtual std::uint64_t timeouts() const = 0;
+};
+
+/// Single TCP connection.
+class TcpByteChannel final : public ByteChannel {
+ public:
+  TcpByteChannel(host::Host& src, host::Host& dst, net::FlowKey flow)
+      : sender_(src.create_sender(flow)), receiver_(dst.create_receiver(flow)) {}
+
+  void send(std::uint64_t bytes) override { sender_.app_write(bytes); }
+  std::uint64_t delivered() const override { return receiver_.delivered(); }
+  void set_on_delivered(DeliveredFn cb) override {
+    receiver_.set_on_delivered(std::move(cb));
+  }
+  std::uint64_t timeouts() const override { return sender_.stats().timeouts; }
+
+  tcp::TcpSender& sender() { return sender_; }
+  tcp::TcpReceiver& receiver() { return receiver_; }
+
+ private:
+  tcp::TcpSender& sender_;
+  tcp::TcpReceiver& receiver_;
+};
+
+/// MPTCP connection (8 ECMP-pathed subflows by default).
+class MptcpByteChannel final : public ByteChannel {
+ public:
+  MptcpByteChannel(sim::Simulation& sim, host::Host& src, host::Host& dst,
+                   net::FlowKey base_flow, lb::MptcpConfig cfg = {})
+      : conn_(sim, src, dst, base_flow, cfg) {}
+
+  void send(std::uint64_t bytes) override { conn_.send(bytes); }
+  std::uint64_t delivered() const override { return conn_.delivered(); }
+  void set_on_delivered(DeliveredFn cb) override {
+    conn_.set_on_delivered(std::move(cb));
+  }
+  std::uint64_t timeouts() const override { return conn_.stats().timeouts; }
+
+  lb::MptcpConnection& connection() { return conn_; }
+
+ private:
+  lb::MptcpConnection conn_;
+};
+
+}  // namespace presto::workload

@@ -1,0 +1,70 @@
+#include "workload/patterns.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace presto::workload {
+
+std::vector<HostPair> stride_pairs(std::uint32_t n, std::uint32_t k) {
+  std::vector<HostPair> pairs;
+  pairs.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    pairs.emplace_back(i, (i + k) % n);
+  }
+  return pairs;
+}
+
+std::vector<HostPair> random_pairs(
+    std::uint32_t n, const std::function<net::SwitchId(net::HostId)>& pod_of,
+    sim::Rng& rng) {
+  std::vector<HostPair> pairs;
+  pairs.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    net::HostId dst;
+    do {
+      dst = static_cast<net::HostId>(rng.below(n));
+    } while (dst == i || pod_of(dst) == pod_of(i));
+    pairs.emplace_back(i, dst);
+  }
+  return pairs;
+}
+
+std::vector<HostPair> random_bijection(
+    std::uint32_t n, const std::function<net::SwitchId(net::HostId)>& pod_of,
+    sim::Rng& rng) {
+  std::vector<net::HostId> perm(n);
+  std::iota(perm.begin(), perm.end(), 0);
+  // Rejection-sample permutations until no host maps to itself or its pod.
+  for (int attempt = 0; attempt < 10000; ++attempt) {
+    for (std::uint32_t i = n - 1; i > 0; --i) {
+      std::swap(perm[i], perm[rng.below(i + 1)]);
+    }
+    const bool ok = [&] {
+      for (std::uint32_t i = 0; i < n; ++i) {
+        if (perm[i] == i || pod_of(perm[i]) == pod_of(i)) return false;
+      }
+      return true;
+    }();
+    if (ok) break;
+  }
+  std::vector<HostPair> pairs;
+  pairs.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) pairs.emplace_back(i, perm[i]);
+  return pairs;
+}
+
+std::vector<std::vector<net::HostId>> shuffle_order(std::uint32_t n,
+                                                    sim::Rng& rng) {
+  std::vector<std::vector<net::HostId>> order(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    for (std::uint32_t j = 0; j < n; ++j) {
+      if (j != i) order[i].push_back(j);
+    }
+    for (std::size_t a = order[i].size() - 1; a > 0; --a) {
+      std::swap(order[i][a], order[i][rng.below(a + 1)]);
+    }
+  }
+  return order;
+}
+
+}  // namespace presto::workload

@@ -1,0 +1,36 @@
+// Communication patterns for the paper's synthetic workloads (§4).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "net/types.h"
+#include "sim/rng.h"
+
+namespace presto::workload {
+
+using HostPair = std::pair<net::HostId, net::HostId>;
+
+/// stride(k): server[i] sends to server[(i + k) mod n].
+std::vector<HostPair> stride_pairs(std::uint32_t n, std::uint32_t k);
+
+/// Random: each server sends to a random destination in a different pod
+/// (leaf); multiple senders may pick the same receiver.
+std::vector<HostPair> random_pairs(
+    std::uint32_t n, const std::function<net::SwitchId(net::HostId)>& pod_of,
+    sim::Rng& rng);
+
+/// Random bijection: like random, but every server receives from exactly one
+/// sender (a cross-pod permutation).
+std::vector<HostPair> random_bijection(
+    std::uint32_t n, const std::function<net::SwitchId(net::HostId)>& pod_of,
+    sim::Rng& rng);
+
+/// Shuffle destination lists: for each server, every other server in random
+/// order (Hadoop-shuffle emulation; each host runs 2 transfers at a time).
+std::vector<std::vector<net::HostId>> shuffle_order(std::uint32_t n,
+                                                    sim::Rng& rng);
+
+}  // namespace presto::workload

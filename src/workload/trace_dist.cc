@@ -1,0 +1,32 @@
+#include "workload/trace_dist.h"
+
+#include <cmath>
+
+namespace presto::workload {
+
+std::uint64_t TraceFlowDist::sample(sim::Rng& rng) const {
+  double u = rng.uniform();
+  for (const Band& b : kBands) {
+    if (u < b.prob) {
+      // Log-uniform within the band.
+      const double frac = u / b.prob;
+      const double v =
+          std::exp(std::log(b.lo) + frac * (std::log(b.hi) - std::log(b.lo)));
+      return static_cast<std::uint64_t>(v * scale_);
+    }
+    u -= b.prob;
+  }
+  return static_cast<std::uint64_t>(kBands[4].hi * scale_);
+}
+
+double TraceFlowDist::mean_bytes() const {
+  double mean = 0;
+  for (const Band& b : kBands) {
+    // Mean of a log-uniform distribution on [lo, hi].
+    const double m = (b.hi - b.lo) / (std::log(b.hi) - std::log(b.lo));
+    mean += b.prob * m;
+  }
+  return mean * scale_;
+}
+
+}  // namespace presto::workload

@@ -1,0 +1,238 @@
+// End-to-end integration invariants over full experiments: byte-exact
+// delivery, in-order delivery under Presto, routing correctness for every
+// pair, and scheme-independent conservation laws.
+#include <gtest/gtest.h>
+
+#include "harness/experiment.h"
+#include "workload/patterns.h"
+
+namespace presto::harness {
+namespace {
+
+struct SchemeTopo {
+  Scheme scheme;
+  std::uint32_t spines, leaves, hosts_per_leaf, gamma;
+};
+
+std::string schemetopo_name(const ::testing::TestParamInfo<SchemeTopo>& i) {
+  std::string n = scheme_name(i.param.scheme);
+  n.erase(std::remove_if(n.begin(), n.end(),
+                         [](char c) { return !isalnum(c); }),
+          n.end());
+  return n + "_" + std::to_string(i.param.spines) + "s" +
+         std::to_string(i.param.leaves) + "l" +
+         std::to_string(i.param.hosts_per_leaf) + "h" +
+         std::to_string(i.param.gamma) + "g";
+}
+
+class EndToEndTest : public ::testing::TestWithParam<SchemeTopo> {};
+
+// A fixed-size transfer between every cross-leaf pair must deliver exactly
+// its bytes, in order, with no leftover or duplicated delivery at the app.
+TEST_P(EndToEndTest, ByteExactDeliveryAllPairs) {
+  const SchemeTopo& p = GetParam();
+  ExperimentConfig cfg;
+  cfg.scheme = p.scheme;
+  cfg.spines = p.spines;
+  cfg.leaves = p.leaves;
+  cfg.hosts_per_leaf = p.hosts_per_leaf;
+  cfg.gamma = p.gamma;
+  cfg.seed = 11;
+  Experiment ex(cfg);
+
+  const auto n = static_cast<std::uint32_t>(ex.servers().size());
+  constexpr std::uint64_t kBytes = 400'000;
+  std::vector<std::unique_ptr<workload::ByteChannel>> channels;
+  std::vector<std::vector<std::uint64_t>> deliveries(n * n);
+  std::size_t idx = 0;
+  for (net::HostId s = 0; s < n; ++s) {
+    for (net::HostId d = 0; d < n; ++d) {
+      if (ex.logical_pod(s) == ex.logical_pod(d)) continue;
+      auto ch = ex.open_channel(s, d);
+      auto* rec = &deliveries[idx++];
+      ch->set_on_delivered(
+          [rec](std::uint64_t delivered) { rec->push_back(delivered); });
+      ch->send(kBytes);
+      channels.push_back(std::move(ch));
+    }
+  }
+  ex.sim().run_until(3 * sim::kSecond);
+  for (std::size_t i = 0; i < channels.size(); ++i) {
+    ASSERT_EQ(channels[i]->delivered(), kBytes)
+        << "channel " << i << " under " << scheme_name(p.scheme);
+    // Delivery callbacks must be strictly monotonic (in-order stream).
+    const auto& progress = deliveries[i];
+    for (std::size_t k = 1; k < progress.size(); ++k) {
+      ASSERT_GT(progress[k], progress[k - 1]);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SchemesAndTopologies, EndToEndTest,
+    ::testing::Values(SchemeTopo{Scheme::kPresto, 4, 4, 2, 1},
+                      SchemeTopo{Scheme::kPresto, 2, 2, 2, 2},  // gamma=2
+                      SchemeTopo{Scheme::kEcmp, 4, 4, 2, 1},
+                      SchemeTopo{Scheme::kMptcp, 2, 2, 2, 1},
+                      SchemeTopo{Scheme::kFlowlet, 4, 2, 2, 1},
+                      SchemeTopo{Scheme::kPrestoEcmp, 4, 4, 2, 1},
+                      SchemeTopo{Scheme::kPerPacket, 2, 2, 2, 1},
+                      SchemeTopo{Scheme::kOptimal, 1, 4, 2, 1}),
+    schemetopo_name);
+
+// Presto must deliver to TCP in order: the receiver never counts an
+// out-of-order segment unless there was actual switch loss.
+TEST(EndToEnd, PrestoInOrderWithoutLoss) {
+  ExperimentConfig cfg;
+  cfg.scheme = Scheme::kPresto;
+  cfg.spines = 4;
+  cfg.leaves = 2;
+  cfg.hosts_per_leaf = 1;
+  cfg.seed = 3;
+  Experiment ex(cfg);
+  auto& el = ex.add_elephant(0, 1, 0);
+  ex.sim().run_until(300 * sim::kMillisecond);
+  EXPECT_GT(el.delivered(), 100'000'000u);  // moving at multi-Gbps
+  if (ex.switch_counters().dropped == 0) {
+    auto* rcv = ex.host(1).find_receiver(net::FlowKey{0, 1, 10000, 80});
+    ASSERT_NE(rcv, nullptr);
+    // GRO hold timeouts may expose a handful of reordering events; they
+    // must be a vanishing fraction of all delivered segments.
+    EXPECT_LT(rcv->stats().out_of_order_segments,
+              rcv->stats().segments_in / 200 + 5);
+  }
+}
+
+// gamma=2 doubles the spanning trees and the non-blocking capacity between
+// a pair of leaves.
+TEST(EndToEnd, GammaParallelLinksScaleCapacity) {
+  auto run = [](std::uint32_t gamma) {
+    ExperimentConfig cfg;
+    cfg.scheme = Scheme::kPresto;
+    cfg.spines = 1;
+    cfg.leaves = 2;
+    cfg.hosts_per_leaf = 2;
+    cfg.gamma = gamma;
+    cfg.seed = 5;
+    Experiment ex(cfg);
+    EXPECT_EQ(ex.ctl().trees().size(), gamma);
+    auto& e0 = ex.add_elephant(0, 2, 0);
+    auto& e1 = ex.add_elephant(1, 3, 0);
+    ex.sim().run_until(200 * sim::kMillisecond);
+    return 8.0 * static_cast<double>(e0.delivered() + e1.delivered()) / 0.2 /
+           1e9;
+  };
+  const double one_link = run(1);   // 2 flows share one 10G fabric link
+  const double two_links = run(2);  // 2 disjoint trees: ~line rate each
+  EXPECT_GT(one_link, 7.0);
+  EXPECT_LT(one_link, 11.0);
+  EXPECT_GT(two_links, 1.7 * one_link);
+}
+
+// Every (src, dst) pair is routable via every spanning tree label.
+TEST(EndToEnd, AllLabelsRouteAllPairs) {
+  ExperimentConfig cfg;
+  cfg.scheme = Scheme::kPresto;
+  cfg.seed = 1;
+  Experiment ex(cfg);
+  // One small transfer per pair, forced through a single tree by pruning
+  // the vSwitch schedule to one label.
+  const auto& trees = ex.ctl().trees();
+  for (const auto& tree : trees) {
+    Experiment ex2([&] {
+      ExperimentConfig c = cfg;
+      c.seed = 100 + tree.id;
+      return c;
+    }());
+    for (net::HostId dst = 0; dst < 16; ++dst) {
+      for (net::HostId src = 0; src < 16; ++src) {
+        if (src == dst) continue;
+        ex2.ctl().label_map(src).set_schedule(
+            dst, {net::shadow_mac(dst, tree.id)});
+      }
+    }
+    auto& el = ex2.add_elephant(0, 12, 200'000);
+    auto& el2 = ex2.add_elephant(5, 9, 200'000);
+    ex2.sim().run_until(200 * sim::kMillisecond);
+    EXPECT_EQ(el.delivered(), 200'000u) << "tree " << tree.id;
+    EXPECT_EQ(el2.delivered(), 200'000u) << "tree " << tree.id;
+  }
+}
+
+// Conservation: switch egress counters never exceed ingress plus locally
+// generated traffic, and drops are accounted.
+TEST(EndToEnd, CounterConservation) {
+  ExperimentConfig cfg;
+  cfg.scheme = Scheme::kPresto;
+  cfg.seed = 17;
+  Experiment ex(cfg);
+  for (const auto& [s, d] : workload::stride_pairs(16, 8)) {
+    ex.add_elephant(s, d, 0);
+  }
+  ex.sim().run_until(100 * sim::kMillisecond);
+  const auto c = ex.switch_counters();
+  EXPECT_GT(c.enqueued, 0u);
+  // Per-switch: tx <= enqueued (the difference is still queued).
+  for (net::SwitchId sw = 0; sw < ex.topo().switch_count(); ++sw) {
+    const auto tc = ex.topo().get_switch(sw).total_counters();
+    EXPECT_LE(tc.tx_packets, tc.enqueued_packets);
+  }
+}
+
+// Mice flows complete under every scheme even while elephants saturate the
+// fabric (no starvation/livelock).
+class MiceUnderLoadTest : public ::testing::TestWithParam<Scheme> {};
+
+TEST_P(MiceUnderLoadTest, MiceEventuallyComplete) {
+  ExperimentConfig cfg;
+  cfg.scheme = GetParam();
+  cfg.spines = 2;
+  cfg.leaves = 2;
+  cfg.hosts_per_leaf = 2;
+  cfg.seed = 23;
+  Experiment ex(cfg);
+  ex.add_elephant(0, 2, 0);
+  ex.add_elephant(1, 3, 0);
+  auto& rpc = ex.open_rpc(0, 3);
+  int done = 0;
+  for (int i = 0; i < 10; ++i) {
+    rpc.issue(50'000, [&done](sim::Time) { ++done; });
+  }
+  ex.sim().run_until(4 * sim::kSecond);
+  EXPECT_EQ(done, 10) << scheme_name(GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSchemes, MiceUnderLoadTest,
+    ::testing::Values(Scheme::kEcmp, Scheme::kMptcp, Scheme::kPresto,
+                      Scheme::kOptimal, Scheme::kFlowlet,
+                      Scheme::kPrestoEcmp),
+    [](const auto& info) {
+      std::string n = scheme_name(info.param);
+      n.erase(std::remove_if(n.begin(), n.end(),
+                             [](char c) { return !isalnum(c); }),
+              n.end());
+      return n;
+    });
+
+// The north-south path: remote users reachable in both directions while
+// east-west Presto traffic runs.
+TEST(EndToEnd, NorthSouthBidirectional) {
+  ExperimentConfig cfg;
+  cfg.scheme = Scheme::kPresto;
+  cfg.remote_users_per_spine = 1;
+  cfg.seed = 29;
+  Experiment ex(cfg);
+  ex.add_elephant(0, 8, 0);  // east-west load
+  const net::HostId remote = ex.remote_users()[0];
+  auto up = ex.open_channel(3, remote, /*allow_mptcp=*/false);
+  auto down = ex.open_channel(remote, 3, /*allow_mptcp=*/false);
+  up->send(1'000'000);
+  down->send(1'000'000);
+  ex.sim().run_until(500 * sim::kMillisecond);
+  EXPECT_EQ(up->delivered(), 1'000'000u);
+  EXPECT_EQ(down->delivered(), 1'000'000u);
+}
+
+}  // namespace
+}  // namespace presto::harness

@@ -1,0 +1,310 @@
+// Unit tests for ports, switches, and topology builders.
+#include <gtest/gtest.h>
+
+#include "net/packet.h"
+#include "net/port.h"
+#include "net/switch.h"
+#include "net/topology.h"
+#include "sim/simulation.h"
+
+namespace presto::net {
+namespace {
+
+/// Collects delivered packets with their arrival times.
+class SinkRecorder : public PacketSink {
+ public:
+  explicit SinkRecorder(sim::Simulation& sim) : sim_(sim) {}
+  void receive(Packet p, PortId in_port) override {
+    packets.push_back(std::move(p));
+    in_ports.push_back(in_port);
+    times.push_back(sim_.now());
+  }
+  std::vector<Packet> packets;
+  std::vector<PortId> in_ports;
+  std::vector<sim::Time> times;
+
+ private:
+  sim::Simulation& sim_;
+};
+
+Packet make_packet(std::uint32_t payload, HostId dst = 1) {
+  Packet p;
+  p.dst_mac = real_mac(dst);
+  p.dst_host = dst;
+  p.payload = payload;
+  return p;
+}
+
+TEST(Mac, EncodingRoundTrips) {
+  const MacAddr r = real_mac(123);
+  EXPECT_FALSE(is_shadow_mac(r));
+  EXPECT_EQ(mac_host(r), 123u);
+  const MacAddr s = shadow_mac(77, 5);
+  EXPECT_TRUE(is_shadow_mac(s));
+  EXPECT_EQ(mac_host(s), 77u);
+  EXPECT_EQ(mac_tree(s), 5u);
+  EXPECT_NE(real_mac(77), s);
+  EXPECT_NE(shadow_mac(77, 4), s);
+}
+
+TEST(TxPort, SerializationTiming) {
+  sim::Simulation sim;
+  LinkConfig cfg;
+  cfg.rate_bps = 10e9;
+  cfg.propagation = 1000;
+  TxPort port(sim, cfg);
+  SinkRecorder sink(sim);
+  port.connect(&sink, 7);
+
+  Packet p = make_packet(1448);
+  port.enqueue(p);
+  sim.run();
+  ASSERT_EQ(sink.packets.size(), 1u);
+  EXPECT_EQ(sink.in_ports[0], 7);
+  // wire = 1448 + 66 + 20 = 1534 B -> 1227.2 ns at 10 Gbps, + 1000 ns prop.
+  EXPECT_NEAR(static_cast<double>(sink.times[0]), 1227 + 1000, 2);
+}
+
+TEST(TxPort, BackToBackSerialization) {
+  sim::Simulation sim;
+  LinkConfig cfg;
+  cfg.rate_bps = 10e9;
+  cfg.propagation = 0;
+  TxPort port(sim, cfg);
+  SinkRecorder sink(sim);
+  port.connect(&sink, 0);
+  for (int i = 0; i < 3; ++i) port.enqueue(make_packet(1448));
+  sim.run();
+  ASSERT_EQ(sink.packets.size(), 3u);
+  // Spacing equals one serialization time.
+  EXPECT_NEAR(static_cast<double>(sink.times[1] - sink.times[0]), 1227, 2);
+  EXPECT_NEAR(static_cast<double>(sink.times[2] - sink.times[1]), 1227, 2);
+}
+
+TEST(TxPort, DropTailAccountsDrops) {
+  sim::Simulation sim;
+  LinkConfig cfg;
+  cfg.queue_bytes = 3000;  // fits ~2 full frames (1514 each)
+  TxPort port(sim, cfg);
+  SinkRecorder sink(sim);
+  port.connect(&sink, 0);
+  for (int i = 0; i < 5; ++i) port.enqueue(make_packet(1448));
+  sim.run();
+  const PortCounters& c = port.counters();
+  EXPECT_GT(c.dropped_packets, 0u);
+  EXPECT_EQ(c.enqueued_packets + c.dropped_packets, 5u);
+  EXPECT_EQ(sink.packets.size(), c.enqueued_packets);
+}
+
+TEST(TxPort, DownPortDropsEverything) {
+  sim::Simulation sim;
+  TxPort port(sim, LinkConfig{});
+  SinkRecorder sink(sim);
+  port.connect(&sink, 0);
+  port.set_down(true);
+  port.enqueue(make_packet(100));
+  sim.run();
+  EXPECT_TRUE(sink.packets.empty());
+  EXPECT_EQ(port.counters().dropped_packets, 1u);
+}
+
+TEST(Switch, L2ExactMatchForwarding) {
+  sim::Simulation sim;
+  Switch sw(sim, 0, "sw");
+  SinkRecorder sink0(sim), sink1(sim);
+  const PortId p0 = sw.add_port(LinkConfig{});
+  const PortId p1 = sw.add_port(LinkConfig{});
+  sw.port(p0).connect(&sink0, 0);
+  sw.port(p1).connect(&sink1, 0);
+  sw.install_l2(real_mac(1), p0);
+  sw.install_l2(shadow_mac(1, 3), p1);
+
+  sw.receive(make_packet(100, 1), 0);
+  Packet shadow = make_packet(100, 1);
+  shadow.dst_mac = shadow_mac(1, 3);
+  sw.receive(shadow, 0);
+  sim.run();
+  EXPECT_EQ(sink0.packets.size(), 1u);
+  EXPECT_EQ(sink1.packets.size(), 1u);
+}
+
+TEST(Switch, NoRouteDrops) {
+  sim::Simulation sim;
+  Switch sw(sim, 0, "sw");
+  sw.add_port(LinkConfig{});
+  sw.receive(make_packet(100, 9), 0);
+  sim.run();
+  EXPECT_EQ(sw.no_route_drops(), 1u);
+}
+
+TEST(Switch, EcmpGroupIsFlowConsistent) {
+  sim::Simulation sim;
+  Switch sw(sim, 0, "sw");
+  SinkRecorder sinks[4] = {SinkRecorder(sim), SinkRecorder(sim),
+                           SinkRecorder(sim), SinkRecorder(sim)};
+  std::vector<PortId> members;
+  for (int i = 0; i < 4; ++i) {
+    const PortId p = sw.add_port(LinkConfig{});
+    sw.port(p).connect(&sinks[i], 0);
+    members.push_back(p);
+  }
+  sw.install_ecmp_group(1, members);
+
+  // Same flow always hashes to the same port.
+  Packet p = make_packet(100, 1);
+  p.dst_mac = 0xDEAD;  // no L2 match -> ECMP path
+  p.flow = FlowKey{0, 1, 1234, 80};
+  for (int i = 0; i < 10; ++i) sw.receive(p, 0);
+  sim.run();
+  int nonempty = 0;
+  for (auto& s : sinks) {
+    if (!s.packets.empty()) {
+      ++nonempty;
+      EXPECT_EQ(s.packets.size(), 10u);
+    }
+  }
+  EXPECT_EQ(nonempty, 1);
+}
+
+TEST(Switch, EcmpSpreadsAcrossFlows) {
+  sim::Simulation sim;
+  Switch sw(sim, 0, "sw");
+  SinkRecorder sinks[4] = {SinkRecorder(sim), SinkRecorder(sim),
+                           SinkRecorder(sim), SinkRecorder(sim)};
+  std::vector<PortId> members;
+  for (int i = 0; i < 4; ++i) {
+    const PortId p = sw.add_port(LinkConfig{});
+    sw.port(p).connect(&sinks[i], 0);
+    members.push_back(p);
+  }
+  sw.install_ecmp_group(1, members);
+  for (std::uint32_t sport = 0; sport < 256; ++sport) {
+    Packet p = make_packet(100, 1);
+    p.dst_mac = 0xDEAD;
+    p.flow = FlowKey{0, 1, sport, 80};
+    sw.receive(p, 0);
+  }
+  sim.run();
+  for (auto& s : sinks) {
+    EXPECT_GT(s.packets.size(), 30u);  // roughly uniform over 4 ports
+  }
+}
+
+TEST(Switch, EcmpExtraSaltChangesPath) {
+  sim::Simulation sim;
+  Switch sw(sim, 0, "sw");
+  SinkRecorder sinks[4] = {SinkRecorder(sim), SinkRecorder(sim),
+                           SinkRecorder(sim), SinkRecorder(sim)};
+  std::vector<PortId> members;
+  for (int i = 0; i < 4; ++i) {
+    const PortId p = sw.add_port(LinkConfig{});
+    sw.port(p).connect(&sinks[i], 0);
+    members.push_back(p);
+  }
+  sw.install_ecmp_group(1, members);
+  // One flow, many flowcell salts (Presto + ECMP): must hit several ports.
+  for (std::uint64_t fc = 0; fc < 64; ++fc) {
+    Packet p = make_packet(100, 1);
+    p.dst_mac = 0xDEAD;
+    p.flow = FlowKey{0, 1, 1234, 80};
+    p.ecmp_extra = fc;
+    sw.receive(p, 0);
+  }
+  sim.run();
+  int nonempty = 0;
+  for (auto& s : sinks) nonempty += s.packets.empty() ? 0 : 1;
+  EXPECT_GE(nonempty, 3);
+}
+
+TEST(Switch, FailoverRedirectsToBackup) {
+  sim::Simulation sim;
+  Switch sw(sim, 0, "sw");
+  SinkRecorder primary_sink(sim), backup_sink(sim);
+  const PortId primary = sw.add_port(LinkConfig{});
+  const PortId backup = sw.add_port(LinkConfig{});
+  sw.port(primary).connect(&primary_sink, 0);
+  sw.port(backup).connect(&backup_sink, 0);
+  sw.install_l2(real_mac(1), primary);
+  sw.install_failover(primary, backup);
+
+  sw.receive(make_packet(100, 1), 0);
+  sim.run();  // deliver before the link goes down
+  sw.port(primary).set_down(true);
+  sw.receive(make_packet(100, 1), 0);
+  sim.run();
+  EXPECT_EQ(primary_sink.packets.size(), 1u);
+  EXPECT_EQ(backup_sink.packets.size(), 1u);
+}
+
+TEST(Switch, EcmpSkipsDownMembers) {
+  sim::Simulation sim;
+  Switch sw(sim, 0, "sw");
+  SinkRecorder s0(sim), s1(sim);
+  const PortId p0 = sw.add_port(LinkConfig{});
+  const PortId p1 = sw.add_port(LinkConfig{});
+  sw.port(p0).connect(&s0, 0);
+  sw.port(p1).connect(&s1, 0);
+  sw.install_ecmp_group(1, {p0, p1});
+  sw.port(p0).set_down(true);
+  for (std::uint32_t sport = 0; sport < 32; ++sport) {
+    Packet p = make_packet(100, 1);
+    p.dst_mac = 0xDEAD;
+    p.flow = FlowKey{0, 1, sport, 80};
+    sw.receive(p, 0);
+  }
+  sim.run();
+  EXPECT_TRUE(s0.packets.empty());
+  EXPECT_EQ(s1.packets.size(), 32u);
+}
+
+TEST(Topology, ClosShape) {
+  sim::Simulation sim;
+  auto topo = make_clos(sim, 4, 4, 4);
+  EXPECT_EQ(topo->spines().size(), 4u);
+  EXPECT_EQ(topo->leaves().size(), 4u);
+  EXPECT_EQ(topo->host_count(), 16u);
+  EXPECT_EQ(topo->fabric_links().size(), 16u);  // 4 leaves x 4 spines
+  for (HostId h = 0; h < 16; ++h) {
+    const SwitchId leaf = topo->host(h).edge_switch;
+    EXPECT_EQ(leaf, topo->leaves()[h / 4]);
+  }
+  EXPECT_EQ(topo->hosts_on(topo->leaves()[2]).size(), 4u);
+}
+
+TEST(Topology, GammaParallelLinks) {
+  sim::Simulation sim;
+  TopoParams params;
+  params.gamma = 2;
+  auto topo = make_clos(sim, 2, 2, 1, params);
+  EXPECT_EQ(topo->fabric_links().size(), 8u);  // 2x2x2
+}
+
+TEST(Topology, SingleSwitch) {
+  sim::Simulation sim;
+  auto topo = make_single_switch(sim, 16);
+  EXPECT_EQ(topo->switch_count(), 1u);
+  EXPECT_EQ(topo->host_count(), 16u);
+  EXPECT_TRUE(topo->spines().empty());
+}
+
+TEST(Topology, FabricLinkFailure) {
+  sim::Simulation sim;
+  auto topo = make_clos(sim, 2, 2, 1);
+  const FabricLink& fl = topo->fabric_links().front();
+  EXPECT_TRUE(topo->set_fabric_link_down(fl.leaf, fl.spine, fl.group, true));
+  EXPECT_TRUE(topo->get_switch(fl.leaf).port(fl.leaf_port).down());
+  EXPECT_TRUE(topo->get_switch(fl.spine).port(fl.spine_port).down());
+  EXPECT_TRUE(topo->set_fabric_link_down(fl.leaf, fl.spine, fl.group, false));
+  EXPECT_FALSE(topo->get_switch(fl.leaf).port(fl.leaf_port).down());
+  EXPECT_FALSE(topo->set_fabric_link_down(99, 99, 0, true));
+}
+
+TEST(Packet, WireAndBufferBytes) {
+  Packet p = make_packet(1448);
+  EXPECT_EQ(p.wire_bytes(), 1448u + 66 + 20);
+  EXPECT_EQ(p.buffer_bytes(), 1448u + 66);
+  EXPECT_EQ(p.end_seq(), p.seq + 1448);
+}
+
+}  // namespace
+}  // namespace presto::net

@@ -1,0 +1,147 @@
+// Unit tests for TSO, stock GRO, and the CPU model.
+#include <gtest/gtest.h>
+
+#include "offload/cpu_model.h"
+#include "offload/official_gro.h"
+#include "offload/tso.h"
+
+namespace presto::offload {
+namespace {
+
+net::Packet data_packet(std::uint64_t seq, std::uint32_t payload,
+                        std::uint64_t flowcell = 1) {
+  net::Packet p;
+  p.flow = net::FlowKey{0, 1, 10000, 80};
+  p.src_host = 0;
+  p.dst_host = 1;
+  p.seq = seq;
+  p.payload = payload;
+  p.flowcell_id = flowcell;
+  return p;
+}
+
+TEST(Tso, SplitsSegmentIntoMssPackets) {
+  net::Packet seg = data_packet(1000, 65536);
+  seg.dst_mac = net::shadow_mac(1, 2);
+  seg.flowcell_id = 7;
+  std::vector<net::Packet> out;
+  tso_split(seg, out);
+  ASSERT_EQ(out.size(), (65536 + net::kMss - 1) / net::kMss);
+  std::uint64_t expect_seq = 1000;
+  std::uint32_t total = 0;
+  for (const net::Packet& p : out) {
+    EXPECT_EQ(p.seq, expect_seq);
+    EXPECT_LE(p.payload, net::kMss);
+    // TSO replicates headers: shadow MAC and flowcell ID on every packet.
+    EXPECT_EQ(p.dst_mac, net::shadow_mac(1, 2));
+    EXPECT_EQ(p.flowcell_id, 7u);
+    expect_seq += p.payload;
+    total += p.payload;
+  }
+  EXPECT_EQ(total, 65536u);
+}
+
+TEST(Tso, PureAckPassesThrough) {
+  net::Packet ack;
+  ack.is_ack = true;
+  ack.payload = 0;
+  std::vector<net::Packet> out;
+  tso_split(ack, out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_TRUE(out[0].is_ack);
+}
+
+TEST(Tso, SmallSegmentSinglePacket) {
+  std::vector<net::Packet> out;
+  tso_split(data_packet(0, 500), out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].payload, 500u);
+}
+
+class OfficialGroTest : public ::testing::Test {
+ protected:
+  OfficialGroTest()
+      : gro_([this](Segment s) { pushed_.push_back(s); }) {}
+  OfficialGro gro_;
+  std::vector<Segment> pushed_;
+};
+
+TEST_F(OfficialGroTest, MergesInOrderPackets) {
+  for (int i = 0; i < 10; ++i) {
+    gro_.on_packet(data_packet(i * 1448, 1448), i);
+  }
+  EXPECT_TRUE(pushed_.empty());  // still merging
+  gro_.flush(100);
+  ASSERT_EQ(pushed_.size(), 1u);
+  EXPECT_EQ(pushed_[0].start_seq, 0u);
+  EXPECT_EQ(pushed_[0].end_seq, 14480u);
+  EXPECT_EQ(pushed_[0].pkt_count, 10u);
+}
+
+TEST_F(OfficialGroTest, ReorderingForcesSmallSegments) {
+  // Alternate between two distant sequence ranges: nothing can merge.
+  for (int i = 0; i < 10; ++i) {
+    const std::uint64_t base = (i % 2 == 0) ? 0 : 100000;
+    gro_.on_packet(data_packet(base + (i / 2) * 1448, 1448), i);
+  }
+  gro_.flush(100);
+  // 8 pushes during merging + 2 at flush = one segment per packet.
+  EXPECT_EQ(pushed_.size(), 10u);
+  for (const Segment& s : pushed_) EXPECT_EQ(s.pkt_count, 1u);
+}
+
+TEST_F(OfficialGroTest, SegmentCapForcesPush) {
+  const int pkts = 65536 / 1448 + 2;  // exceed 64 KB
+  for (int i = 0; i < pkts; ++i) {
+    gro_.on_packet(data_packet(static_cast<std::uint64_t>(i) * 1448, 1448),
+                   i);
+  }
+  gro_.flush(100);
+  ASSERT_EQ(pushed_.size(), 2u);
+  EXPECT_LE(pushed_[0].bytes(), 65536u);
+}
+
+TEST_F(OfficialGroTest, FlowsTrackedIndependently) {
+  net::Packet a = data_packet(0, 1448);
+  net::Packet b = data_packet(0, 1448);
+  b.flow.src_port = 11111;
+  gro_.on_packet(a, 0);
+  gro_.on_packet(b, 0);
+  gro_.flush(1);
+  EXPECT_EQ(pushed_.size(), 2u);
+}
+
+TEST_F(OfficialGroTest, MergesAcrossFlowcellBoundaries) {
+  // Stock GRO is flowcell-unaware: contiguous packets merge regardless.
+  gro_.on_packet(data_packet(0, 1448, 1), 0);
+  gro_.on_packet(data_packet(1448, 1448, 2), 1);
+  gro_.flush(10);
+  ASSERT_EQ(pushed_.size(), 1u);
+  EXPECT_EQ(pushed_[0].pkt_count, 2u);
+}
+
+TEST(CpuModel, FifoExecutionAndBusyAccounting) {
+  sim::Simulation sim;
+  CpuModel cpu(sim);
+  std::vector<int> order;
+  std::vector<sim::Time> at;
+  cpu.submit(100, [&] { order.push_back(1); at.push_back(sim.now()); });
+  cpu.submit(200, [&] { order.push_back(2); at.push_back(sim.now()); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_EQ(at[0], 100);
+  EXPECT_EQ(at[1], 300);  // queued behind the first
+  EXPECT_EQ(cpu.busy_ns(), 300);
+}
+
+TEST(CpuModel, BacklogReflectsQueuedWork) {
+  sim::Simulation sim;
+  CpuModel cpu(sim);
+  cpu.submit(1000, [] {});
+  EXPECT_EQ(cpu.backlog(), 1000);
+  sim.run();
+  EXPECT_EQ(cpu.backlog(), 0);
+}
+
+}  // namespace
+}  // namespace presto::offload

@@ -1,0 +1,171 @@
+// Unit + property tests for the SACK scoreboard / out-of-order store.
+#include "tcp/range_set.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "sim/rng.h"
+
+namespace presto::tcp {
+namespace {
+
+TEST(RangeSet, AddAndCovers) {
+  RangeSet rs;
+  rs.add(10, 20);
+  EXPECT_TRUE(rs.covers(10, 20));
+  EXPECT_TRUE(rs.covers(12, 15));
+  EXPECT_FALSE(rs.covers(5, 12));
+  EXPECT_FALSE(rs.covers(15, 25));
+  EXPECT_FALSE(rs.covers(30, 40));
+}
+
+TEST(RangeSet, EmptyRangeIsNoop) {
+  RangeSet rs;
+  rs.add(10, 10);
+  EXPECT_TRUE(rs.empty());
+  EXPECT_TRUE(rs.covers(5, 5));  // empty query is trivially covered
+}
+
+TEST(RangeSet, MergesAdjacentAndOverlapping) {
+  RangeSet rs;
+  rs.add(10, 20);
+  rs.add(20, 30);  // adjacent
+  EXPECT_EQ(rs.size(), 1u);
+  EXPECT_TRUE(rs.covers(10, 30));
+  rs.add(5, 12);  // overlapping left
+  EXPECT_EQ(rs.size(), 1u);
+  EXPECT_TRUE(rs.covers(5, 30));
+  rs.add(40, 50);
+  rs.add(25, 45);  // bridges two ranges
+  EXPECT_EQ(rs.size(), 1u);
+  EXPECT_TRUE(rs.covers(5, 50));
+}
+
+TEST(RangeSet, TrimBelow) {
+  RangeSet rs;
+  rs.add(10, 20);
+  rs.add(30, 40);
+  rs.trim_below(15);
+  EXPECT_FALSE(rs.covers(10, 12));
+  EXPECT_TRUE(rs.covers(15, 20));
+  EXPECT_TRUE(rs.covers(30, 40));
+  rs.trim_below(40);
+  EXPECT_TRUE(rs.empty());
+}
+
+TEST(RangeSet, Advance) {
+  RangeSet rs;
+  rs.add(10, 20);
+  rs.add(20, 25);
+  rs.add(30, 40);
+  EXPECT_EQ(rs.advance(5), 5u);    // nothing at/below 5
+  EXPECT_EQ(rs.advance(10), 25u);  // consumes [10,25)
+  EXPECT_EQ(rs.size(), 1u);
+  EXPECT_EQ(rs.advance(30), 40u);
+  EXPECT_TRUE(rs.empty());
+}
+
+TEST(RangeSet, AdvanceThroughContainedSeq) {
+  RangeSet rs;
+  rs.add(10, 30);
+  EXPECT_EQ(rs.advance(15), 30u);
+}
+
+TEST(RangeSet, EndOfRangeContaining) {
+  RangeSet rs;
+  rs.add(10, 20);
+  EXPECT_EQ(rs.end_of_range_containing(10), 20u);
+  EXPECT_EQ(rs.end_of_range_containing(19), 20u);
+  EXPECT_EQ(rs.end_of_range_containing(20), 20u);  // end is exclusive
+  EXPECT_EQ(rs.end_of_range_containing(5), 5u);
+}
+
+TEST(RangeSet, FirstStartAbove) {
+  RangeSet rs;
+  rs.add(10, 20);
+  rs.add(30, 40);
+  EXPECT_EQ(rs.first_start_above(0, 999), 10u);
+  EXPECT_EQ(rs.first_start_above(20, 999), 30u);
+  EXPECT_EQ(rs.first_start_above(40, 999), 999u);
+}
+
+TEST(RangeSet, BytesIn) {
+  RangeSet rs;
+  rs.add(10, 20);
+  rs.add(30, 40);
+  EXPECT_EQ(rs.bytes_in(0, 100), 20u);
+  EXPECT_EQ(rs.bytes_in(15, 35), 10u);  // 5 from first + 5 from second
+  EXPECT_EQ(rs.bytes_in(20, 30), 0u);
+  EXPECT_EQ(rs.bytes_in(12, 18), 6u);
+}
+
+TEST(RangeSet, Intersects) {
+  RangeSet rs;
+  rs.add(10, 20);
+  EXPECT_TRUE(rs.intersects(15, 25));
+  EXPECT_TRUE(rs.intersects(5, 11));
+  EXPECT_FALSE(rs.intersects(20, 30));  // end-exclusive
+  EXPECT_FALSE(rs.intersects(0, 10));
+}
+
+// Property test: RangeSet must agree with a naive per-byte reference model
+// across random operation sequences.
+class RangeSetPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RangeSetPropertyTest, MatchesReferenceModel) {
+  sim::Rng rng(GetParam());
+  RangeSet rs;
+  std::set<std::uint64_t> model;  // set of covered bytes
+  const std::uint64_t space = 200;
+  for (int op = 0; op < 300; ++op) {
+    const std::uint64_t a = rng.below(space);
+    const std::uint64_t b = a + rng.below(20);
+    switch (rng.below(3)) {
+      case 0: {
+        rs.add(a, b);
+        for (std::uint64_t x = a; x < b; ++x) model.insert(x);
+        break;
+      }
+      case 1: {
+        rs.trim_below(a);
+        model.erase(model.begin(), model.lower_bound(a));
+        break;
+      }
+      case 2: {
+        // advance from a: consumes the contiguous run at `a` and drops any
+        // stale ranges fully below the resulting frontier (see RangeSet).
+        std::uint64_t expect = a;
+        while (model.count(expect)) {
+          model.erase(expect);
+          ++expect;
+        }
+        model.erase(model.begin(), model.lower_bound(expect));
+        EXPECT_EQ(rs.advance(a), expect);
+        break;
+      }
+    }
+    // Spot-check queries against the model.
+    const std::uint64_t q0 = rng.below(space);
+    const std::uint64_t q1 = q0 + rng.below(20);
+    std::uint64_t count = 0;
+    bool all = true, any = false;
+    for (std::uint64_t x = q0; x < q1; ++x) {
+      if (model.count(x)) {
+        ++count;
+        any = true;
+      } else {
+        all = false;
+      }
+    }
+    ASSERT_EQ(rs.bytes_in(q0, q1), count) << "op " << op;
+    ASSERT_EQ(rs.covers(q0, q1), all || q0 >= q1) << "op " << op;
+    ASSERT_EQ(rs.intersects(q0, q1), any) << "op " << op;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RangeSetPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace presto::tcp

@@ -1,0 +1,146 @@
+// Unit tests for the discrete-event engine and PRNG.
+#include "sim/simulation.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/rng.h"
+
+namespace presto::sim {
+namespace {
+
+TEST(Simulation, RunsEventsInTimestampOrder) {
+  Simulation sim;
+  std::vector<int> order;
+  sim.schedule(30, [&] { order.push_back(3); });
+  sim.schedule(10, [&] { order.push_back(1); });
+  sim.schedule(20, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), 30);
+}
+
+TEST(Simulation, TiesBreakFifo) {
+  Simulation sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule(100, [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(Simulation, ReentrantSchedulingFromCallback) {
+  Simulation sim;
+  int fired = 0;
+  sim.schedule(5, [&] {
+    ++fired;
+    sim.schedule(5, [&] { ++fired; });
+  });
+  sim.run();
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(sim.now(), 10);
+}
+
+TEST(Simulation, RunUntilStopsAtDeadlineAndAdvancesClock) {
+  Simulation sim;
+  int fired = 0;
+  sim.schedule(10, [&] { ++fired; });
+  sim.schedule(100, [&] { ++fired; });
+  sim.run_until(50);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now(), 50);
+  EXPECT_EQ(sim.pending(), 1u);
+  sim.run_until(100);
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulation, NegativeDelayClampsToNow) {
+  Simulation sim;
+  Time when = -1;
+  sim.schedule(10, [&] {
+    sim.schedule(-5, [&] { when = sim.now(); });
+  });
+  sim.run();
+  EXPECT_EQ(when, 10);
+}
+
+TEST(Simulation, StopHaltsExecution) {
+  Simulation sim;
+  int fired = 0;
+  sim.schedule(1, [&] {
+    ++fired;
+    sim.stop();
+  });
+  sim.schedule(2, [&] { ++fired; });
+  sim.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.pending(), 1u);
+}
+
+TEST(Simulation, ScheduleAtPastTimeClamps) {
+  Simulation sim;
+  sim.schedule(100, [] {});
+  sim.run();
+  Time ran_at = -1;
+  sim.schedule_at(5, [&] { ran_at = sim.now(); });  // 5 < now() == 100
+  sim.run();
+  EXPECT_EQ(ran_at, 100);
+}
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(42), b(42), c(43);
+  bool diverged = false;
+  for (int i = 0; i < 100; ++i) {
+    const std::uint64_t va = a.next();
+    EXPECT_EQ(va, b.next());
+    if (va != c.next()) diverged = true;
+  }
+  EXPECT_TRUE(diverged);
+}
+
+TEST(Rng, BelowIsInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.below(17), 17u);
+  }
+}
+
+TEST(Rng, BelowCoversAllValues) {
+  Rng rng(7);
+  std::vector<int> seen(8, 0);
+  for (int i = 0; i < 10000; ++i) ++seen[rng.below(8)];
+  for (int v : seen) EXPECT_GT(v, 1000);  // roughly uniform
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(9);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Rng, ExponentialHasRequestedMean) {
+  Rng rng(11);
+  double sum = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(123.0);
+  EXPECT_NEAR(sum / n, 123.0, 5.0);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng a(42);
+  Rng child = a.fork();
+  Rng a2(42);
+  Rng child2 = a2.fork();
+  EXPECT_EQ(child.next(), child2.next());  // fork is deterministic
+}
+
+}  // namespace
+}  // namespace presto::sim

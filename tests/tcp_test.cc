@@ -1,0 +1,299 @@
+// TCP endpoint tests over the two-host rig: transfer, loss recovery, RTO,
+// SACK, DSACK undo, congestion-control units.
+#include <gtest/gtest.h>
+
+#include "sim/rng.h"
+#include "tcp/congestion.h"
+#include "test_util.h"
+
+namespace presto::tcp {
+namespace {
+
+using test::TwoHostRig;
+
+TEST(Congestion, RenoSlowStartDoublesPerRtt) {
+  RenoCc cc;
+  const double start = cc.cwnd_bytes();
+  EXPECT_TRUE(cc.in_slow_start());
+  cc.on_ack(static_cast<std::uint64_t>(start), 0, 1000);
+  EXPECT_NEAR(cc.cwnd_bytes(), 2 * start, 1);
+}
+
+TEST(Congestion, RenoCongestionAvoidanceLinear) {
+  RenoCc cc;
+  cc.on_loss_event(0);  // leave slow start
+  const double w = cc.cwnd_bytes();
+  EXPECT_FALSE(cc.in_slow_start());
+  // One window of ACKs should add ~1 MSS.
+  cc.on_ack(static_cast<std::uint64_t>(w), 0, 1000);
+  EXPECT_NEAR(cc.cwnd_bytes(), w + net::kMss, net::kMss * 0.1);
+}
+
+TEST(Congestion, RenoHalvesOnLoss) {
+  RenoCc cc;
+  cc.on_ack(100000, 0, 1000);
+  const double w = cc.cwnd_bytes();
+  cc.on_loss_event(0);
+  EXPECT_NEAR(cc.cwnd_bytes(), w / 2, 1);
+}
+
+TEST(Congestion, RenoTimeoutCollapsesToOneMss) {
+  RenoCc cc;
+  cc.on_ack(1000000, 0, 1000);
+  cc.on_timeout(0);
+  EXPECT_NEAR(cc.cwnd_bytes(), net::kMss, 1);
+}
+
+TEST(Congestion, CubicReducesBy30PercentOnLoss) {
+  CubicCc cc;
+  cc.on_ack(500000, 0, 1000);  // grow a bit in slow start
+  const double w = cc.cwnd_bytes();
+  cc.on_loss_event(1000000);
+  EXPECT_NEAR(cc.cwnd_bytes(), 0.7 * w, 1);
+}
+
+TEST(Congestion, CubicGrowsAfterLoss) {
+  CubicCc cc;
+  cc.on_ack(500000, 0, 1000);
+  cc.on_loss_event(sim::kMillisecond);
+  const double w = cc.cwnd_bytes();
+  sim::Time t = 2 * sim::kMillisecond;
+  for (int i = 0; i < 2000; ++i) {
+    cc.on_ack(net::kMss, t, 100 * sim::kMicrosecond);
+    t += 50 * sim::kMicrosecond;
+  }
+  EXPECT_GT(cc.cwnd_bytes(), w);
+}
+
+TEST(Congestion, UndoRestoresWindowAndSsthresh) {
+  CubicCc cc;
+  cc.on_ack(800000, 0, 1000);
+  const double w = cc.cwnd_bytes();
+  const double ss = cc.ssthresh_bytes();
+  cc.on_loss_event(1000);
+  ASSERT_LT(cc.cwnd_bytes(), w);
+  cc.undo(w, ss);
+  EXPECT_GE(cc.cwnd_bytes(), w);
+  EXPECT_GE(cc.ssthresh_bytes(), ss);
+}
+
+TEST(Tcp, BasicTransferDeliversAllBytes) {
+  TwoHostRig rig;
+  TcpSender& snd = rig.a->create_sender(rig.flow());
+  TcpReceiver& rcv = rig.b->create_receiver(rig.flow());
+  snd.app_write(1000000);
+  rig.sim.run_until(100 * sim::kMillisecond);
+  EXPECT_EQ(rcv.delivered(), 1000000u);
+  EXPECT_EQ(snd.acked_bytes(), 1000000u);
+  EXPECT_TRUE(snd.idle());
+  EXPECT_EQ(snd.stats().timeouts, 0u);
+  EXPECT_EQ(rcv.stats().out_of_order_segments, 0u);
+}
+
+TEST(Tcp, ThroughputReachesLineRate) {
+  TwoHostRig rig;
+  TcpSender& snd = rig.a->create_sender(rig.flow());
+  rig.b->create_receiver(rig.flow());
+  snd.app_write(400 * 1000 * 1000);  // more than 200 ms can drain
+  rig.sim.run_until(200 * sim::kMillisecond);
+  const double gbps = 8.0 * static_cast<double>(snd.acked_bytes()) / 0.2 / 1e9;
+  // 10 GbE with header overhead => ~9.4 Gbps goodput ceiling.
+  EXPECT_GT(gbps, 8.8);
+  EXPECT_LT(gbps, 9.6);
+}
+
+TEST(Tcp, SrttTracksPathRtt) {
+  TwoHostRig rig;
+  TcpSender& snd = rig.a->create_sender(rig.flow());
+  rig.b->create_receiver(rig.flow());
+  snd.app_write(50000);
+  rig.sim.run_until(50 * sim::kMillisecond);
+  // Base RTT: ~2 us propagation + serialization + coalescing (~30 us) + CPU.
+  EXPECT_GT(snd.srtt(), 2 * sim::kMicrosecond);
+  EXPECT_LT(snd.srtt(), 2 * sim::kMillisecond);
+}
+
+TEST(Tcp, SingleLossRecoversViaFastRetransmit) {
+  TwoHostRig rig;
+  TcpSender& snd = rig.a->create_sender(rig.flow());
+  TcpReceiver& rcv = rig.b->create_receiver(rig.flow());
+  // Drop exactly one data packet.
+  bool dropped = false;
+  rig.a_to_b->set_filter([&](const net::Packet& p) {
+    if (!dropped && !p.is_ack && p.seq <= 200000 && p.end_seq() > 200000) {
+      dropped = true;
+      return false;
+    }
+    return true;
+  });
+  snd.app_write(2000000);
+  rig.sim.run_until(150 * sim::kMillisecond);
+  EXPECT_TRUE(dropped);
+  EXPECT_EQ(rcv.delivered(), 2000000u);
+  EXPECT_GE(snd.stats().fast_retransmits, 1u);
+  EXPECT_EQ(snd.stats().timeouts, 0u);  // SACK recovery, no RTO
+}
+
+TEST(Tcp, BurstLossRecoversWithoutDeadlock) {
+  TwoHostRig rig;
+  TcpSender& snd = rig.a->create_sender(rig.flow());
+  TcpReceiver& rcv = rig.b->create_receiver(rig.flow());
+  // Drop a 100-packet burst mid-stream.
+  int to_drop = 0;
+  rig.a_to_b->set_filter([&](const net::Packet& p) {
+    if (!p.is_ack && p.seq >= 500000 && to_drop < 100 && p.seq < 800000 &&
+        !p.is_retx) {
+      ++to_drop;
+      return false;
+    }
+    return true;
+  });
+  snd.app_write(3000000);
+  rig.sim.run_until(500 * sim::kMillisecond);
+  EXPECT_EQ(to_drop, 100);
+  EXPECT_EQ(rcv.delivered(), 3000000u);
+}
+
+TEST(Tcp, TailLossRecoversViaRto) {
+  TwoHostRig rig;
+  TcpSender& snd = rig.a->create_sender(rig.flow());
+  TcpReceiver& rcv = rig.b->create_receiver(rig.flow());
+  // Drop the last packets of the stream (no dup-ACK trigger possible).
+  rig.a_to_b->set_filter([&](const net::Packet& p) {
+    return p.is_ack || p.is_retx || p.end_seq() < 49000;
+  });
+  snd.app_write(50000);
+  rig.sim.run_until(1000 * sim::kMillisecond);
+  EXPECT_EQ(rcv.delivered(), 50000u);
+  EXPECT_GE(snd.stats().timeouts, 1u);
+}
+
+TEST(Tcp, AckLossIsHarmless) {
+  TwoHostRig rig;
+  TcpSender& snd = rig.a->create_sender(rig.flow());
+  TcpReceiver& rcv = rig.b->create_receiver(rig.flow());
+  // Drop 20% of ACKs deterministically. (ACKs are sparse with GRO — one per
+  // merged segment — so losing one can idle the window until the next ACK
+  // or an RTO; cumulative ACKs still make the transfer complete.)
+  int count = 0;
+  rig.b_to_a->set_filter([&](const net::Packet& p) {
+    if (p.is_ack && (++count % 5 == 0)) return false;
+    return true;
+  });
+  snd.app_write(2000000);
+  rig.sim.run_until(1500 * sim::kMillisecond);
+  EXPECT_EQ(rcv.delivered(), 2000000u);
+}
+
+TEST(Tcp, ReorderingTriggersSpuriousRecoveryAndUndo) {
+  TwoHostRig rig;
+  TcpSender& snd = rig.a->create_sender(rig.flow());
+  TcpReceiver& rcv = rig.b->create_receiver(rig.flow());
+  // Delay one mid-stream packet by 3 ms: receiver sees a gap, dup-ACKs with
+  // SACK (>= 3 MSS), sender enters recovery; the late packet then proves it
+  // spurious (via the no-retransmit undo or DSACK).
+  bool delayed = false;
+  rig.a_to_b->set_delay([&](const net::Packet& p) -> sim::Time {
+    if (!delayed && !p.is_ack && p.seq >= 400000) {
+      delayed = true;
+      return 3 * sim::kMillisecond;
+    }
+    return 0;
+  });
+  snd.app_write(2000000);
+  rig.sim.run_until(300 * sim::kMillisecond);
+  EXPECT_EQ(rcv.delivered(), 2000000u);
+  EXPECT_GE(snd.stats().fast_retransmits, 1u);
+  EXPECT_GE(snd.stats().spurious_recoveries, 1u);
+}
+
+TEST(Tcp, ReceiverGeneratesSackBlocks) {
+  TwoHostRig rig;
+  rig.a->create_sender(rig.flow());
+  TcpReceiver& rcv = rig.b->create_receiver(rig.flow());
+  // Feed the receiver out-of-order segments directly.
+  std::vector<net::Packet> acks;
+  TcpReceiver direct(rig.sim, rig.flow(),
+                     [&](net::Packet&& a) { acks.push_back(a); });
+  offload::Segment s1;
+  s1.flow = rig.flow();
+  s1.start_seq = 10000;
+  s1.end_seq = 20000;
+  direct.on_segment(s1);
+  ASSERT_EQ(acks.size(), 1u);
+  EXPECT_EQ(acks[0].ack, 0u);  // nothing in order yet
+  EXPECT_EQ(acks[0].sack[0].start, 10000u);
+  EXPECT_EQ(acks[0].sack[0].end, 20000u);
+  (void)rcv;
+}
+
+TEST(Tcp, DuplicateSegmentProducesDsack) {
+  TwoHostRig rig;
+  std::vector<net::Packet> acks;
+  TcpReceiver direct(rig.sim, rig.flow(),
+                     [&](net::Packet&& a) { acks.push_back(a); });
+  offload::Segment s;
+  s.flow = rig.flow();
+  s.start_seq = 0;
+  s.end_seq = 10000;
+  direct.on_segment(s);
+  direct.on_segment(s);  // duplicate
+  ASSERT_EQ(acks.size(), 2u);
+  EXPECT_EQ(acks[1].ack, 10000u);
+  // DSACK block below the cumulative ACK.
+  EXPECT_EQ(acks[1].sack[0].start, 0u);
+  EXPECT_EQ(acks[1].sack[0].end, 10000u);
+}
+
+TEST(Tcp, AppWriteWhileBusyExtendsStream) {
+  TwoHostRig rig;
+  TcpSender& snd = rig.a->create_sender(rig.flow());
+  TcpReceiver& rcv = rig.b->create_receiver(rig.flow());
+  snd.app_write(100000);
+  rig.sim.run_until(1 * sim::kMillisecond);
+  snd.app_write(100000);
+  rig.sim.run_until(100 * sim::kMillisecond);
+  EXPECT_EQ(rcv.delivered(), 200000u);
+}
+
+// Parameterized loss sweep: the connection must always complete, across
+// loss rates, with either CC algorithm.
+struct LossSweepParam {
+  int loss_percent;
+  CcKind cc;
+};
+
+class TcpLossSweep : public ::testing::TestWithParam<LossSweepParam> {};
+
+TEST_P(TcpLossSweep, TransferCompletes) {
+  TwoHostRig rig;
+  tcp::TcpConfig cfg;
+  cfg.cc = GetParam().cc;
+  TcpSender& snd = rig.a->create_sender(rig.flow(), cfg);
+  TcpReceiver& rcv = rig.b->create_receiver(rig.flow());
+  sim::Rng rng(1234);
+  const int pct = GetParam().loss_percent;
+  rig.a_to_b->set_filter([&rng, pct](const net::Packet& p) {
+    if (p.is_ack) return true;
+    return rng.below(100) >= static_cast<std::uint64_t>(pct);
+  });
+  snd.app_write(300000);
+  rig.sim.run_until(30 * sim::kSecond);
+  EXPECT_EQ(rcv.delivered(), 300000u)
+      << "loss=" << pct << "% cc=" << static_cast<int>(GetParam().cc);
+  (void)snd;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    LossRates, TcpLossSweep,
+    ::testing::Values(LossSweepParam{0, CcKind::kCubic},
+                      LossSweepParam{1, CcKind::kCubic},
+                      LossSweepParam{3, CcKind::kCubic},
+                      LossSweepParam{10, CcKind::kCubic},
+                      LossSweepParam{0, CcKind::kReno},
+                      LossSweepParam{1, CcKind::kReno},
+                      LossSweepParam{3, CcKind::kReno},
+                      LossSweepParam{10, CcKind::kReno}));
+
+}  // namespace
+}  // namespace presto::tcp

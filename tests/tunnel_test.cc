@@ -1,0 +1,102 @@
+// Switch-to-switch shadow-MAC tunnel tests (§3.1 scalability option).
+#include <gtest/gtest.h>
+
+#include "harness/experiment.h"
+#include "workload/patterns.h"
+
+namespace presto::controller {
+namespace {
+
+TEST(TunnelMac, EncodingRoundTrips) {
+  const net::MacAddr t = net::tunnel_mac(3, 7);
+  EXPECT_TRUE(net::is_shadow_mac(t));
+  EXPECT_TRUE(net::is_tunnel_mac(t));
+  EXPECT_EQ(net::tunnel_leaf(t), 3u);
+  EXPECT_EQ(net::mac_tree(t), 7u);
+  EXPECT_FALSE(net::is_tunnel_mac(net::shadow_mac(3, 7)));
+  EXPECT_NE(net::tunnel_mac(3, 7), net::shadow_mac(3, 7));
+}
+
+harness::ExperimentConfig tunnel_cfg(bool tunnels) {
+  harness::ExperimentConfig cfg;
+  cfg.scheme = harness::Scheme::kPresto;
+  cfg.controller.switch_tunnels = tunnels;
+  cfg.seed = 41;
+  return cfg;
+}
+
+TEST(Tunnels, CutRuleStateSubstantially) {
+  harness::Experiment host_mode(tunnel_cfg(false));
+  harness::Experiment tunnel_mode(tunnel_cfg(true));
+  auto total_rules = [](harness::Experiment& ex) {
+    std::size_t n = 0;
+    for (net::SwitchId s = 0; s < ex.topo().switch_count(); ++s) {
+      n += ex.topo().get_switch(s).l2_table_size();
+    }
+    return n;
+  };
+  const std::size_t host_rules = total_rules(host_mode);
+  const std::size_t tunnel_rules = total_rules(tunnel_mode);
+  // Host mode: O(hosts x trees) label entries per switch; tunnel mode:
+  // O(leaves x trees). With 16 hosts / 4 leaves the gap is large.
+  EXPECT_LT(tunnel_rules * 2, host_rules);
+}
+
+TEST(Tunnels, TrafficFlowsAtParity) {
+  auto run = [](bool tunnels) {
+    harness::Experiment ex(tunnel_cfg(tunnels));
+    std::vector<workload::ElephantApp*> els;
+    for (const auto& [s, d] : workload::stride_pairs(16, 8)) {
+      els.push_back(&ex.add_elephant(s, d, 0));
+    }
+    ex.sim().run_until(150 * sim::kMillisecond);
+    std::uint64_t total = 0;
+    for (auto* e : els) total += e->delivered();
+    return 8.0 * static_cast<double>(total) / 0.15 / 1e9 / 16;
+  };
+  const double host_mode = run(false);
+  const double tunnel_mode = run(true);
+  EXPECT_GT(tunnel_mode, 0.9 * host_mode);
+  EXPECT_GT(host_mode, 7.0);
+}
+
+TEST(Tunnels, SpreadAcrossAllSpines) {
+  harness::Experiment ex(tunnel_cfg(true));
+  ex.add_elephant(0, 12, 0);
+  ex.sim().run_until(100 * sim::kMillisecond);
+  for (net::SwitchId s : ex.topo().spines()) {
+    EXPECT_GT(ex.topo().get_switch(s).total_counters().tx_bytes, 0u)
+        << "spine " << s;
+  }
+}
+
+TEST(Tunnels, FailureRerouteStillWorks) {
+  harness::ExperimentConfig cfg = tunnel_cfg(true);
+  cfg.controller.failover_detect_delay = 5 * sim::kMillisecond;
+  cfg.controller.controller_react_delay = 50 * sim::kMillisecond;
+  harness::Experiment ex(cfg);
+  const net::HostId src = 12, dst = 0;  // L4 -> L1 crosses the dead link
+  auto& el = ex.add_elephant(src, dst, 0);
+  const auto tl = ex.ctl().schedule_link_failure(
+      ex.topo().leaves()[0], ex.topo().spines()[0], 0,
+      30 * sim::kMillisecond);
+  ex.sim().run_until(tl.weighted + 150 * sim::kMillisecond);
+  // Pruned tunnel-label schedule after the weighted stage.
+  EXPECT_EQ(ex.ctl().label_map(src).schedule(dst)->size(), 3u);
+  for (net::MacAddr m : *ex.ctl().label_map(src).schedule(dst)) {
+    EXPECT_TRUE(net::is_tunnel_mac(m));
+  }
+  EXPECT_GT(el.delivered(), 50'000'000u);  // still moving multi-Gbps
+}
+
+TEST(Tunnels, MiceRpcsComplete) {
+  harness::Experiment ex(tunnel_cfg(true));
+  auto& rpc = ex.open_rpc(1, 9);
+  int done = 0;
+  for (int i = 0; i < 5; ++i) rpc.issue(50'000, [&](sim::Time) { ++done; });
+  ex.sim().run_until(300 * sim::kMillisecond);
+  EXPECT_EQ(done, 5);
+}
+
+}  // namespace
+}  // namespace presto::controller

@@ -1,0 +1,144 @@
+// Workload layer tests: patterns, trace distribution, RPC apps.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "test_util.h"
+#include "workload/apps.h"
+#include "workload/patterns.h"
+#include "workload/trace_dist.h"
+
+namespace presto::workload {
+namespace {
+
+using test::TwoHostRig;
+
+net::SwitchId pod4(net::HostId h) { return h / 4; }
+
+TEST(Patterns, StridePairs) {
+  auto pairs = stride_pairs(16, 8);
+  ASSERT_EQ(pairs.size(), 16u);
+  EXPECT_EQ(pairs[0], (HostPair{0, 8}));
+  EXPECT_EQ(pairs[15], (HostPair{15, 7}));
+  for (const auto& [s, d] : pairs) EXPECT_NE(s, d);
+}
+
+TEST(Patterns, RandomPairsAvoidOwnPod) {
+  sim::Rng rng(3);
+  auto pairs = random_pairs(16, pod4, rng);
+  ASSERT_EQ(pairs.size(), 16u);
+  for (const auto& [s, d] : pairs) {
+    EXPECT_NE(pod4(s), pod4(d));
+  }
+}
+
+TEST(Patterns, RandomBijectionIsPermutationCrossPod) {
+  sim::Rng rng(3);
+  auto pairs = random_bijection(16, pod4, rng);
+  std::set<net::HostId> dsts;
+  for (const auto& [s, d] : pairs) {
+    EXPECT_NE(pod4(s), pod4(d));
+    dsts.insert(d);
+  }
+  EXPECT_EQ(dsts.size(), 16u);  // every host receives exactly once
+}
+
+TEST(Patterns, ShuffleOrderCoversEveryPeer) {
+  sim::Rng rng(3);
+  auto order = shuffle_order(8, rng);
+  ASSERT_EQ(order.size(), 8u);
+  for (net::HostId h = 0; h < 8; ++h) {
+    EXPECT_EQ(order[h].size(), 7u);
+    std::set<net::HostId> peers(order[h].begin(), order[h].end());
+    EXPECT_EQ(peers.size(), 7u);
+    EXPECT_FALSE(peers.count(h));
+  }
+}
+
+TEST(TraceDist, SamplesInRangeAndHeavyTailed) {
+  TraceFlowDist dist(10.0);
+  sim::Rng rng(9);
+  std::uint64_t mice = 0, elephants = 0;
+  double total = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const std::uint64_t s = dist.sample(rng);
+    ASSERT_GE(s, 1000u);        // 100 B * 10
+    ASSERT_LE(s, 300000000u);   // 30 MB * 10
+    if (s < 100000) ++mice;
+    if (s > 1000000) ++elephants;
+    total += static_cast<double>(s);
+  }
+  // Most flows are mice...
+  EXPECT_GT(static_cast<double>(mice) / n, 0.45);
+  // ...but elephants exist and dominate bytes.
+  EXPECT_GT(elephants, 100u);
+  EXPECT_NEAR(total / n, dist.mean_bytes(), dist.mean_bytes() * 0.2);
+}
+
+TEST(RpcChannel, MeasuresRequestResponseTime) {
+  TwoHostRig rig;
+  auto req = std::make_unique<TcpByteChannel>(*rig.a, *rig.b, rig.flow());
+  auto resp = std::make_unique<TcpByteChannel>(
+      *rig.b, *rig.a, net::FlowKey{1, 0, 20000, 80});
+  RpcChannel rpc(rig.sim, std::move(req), std::move(resp));
+  std::vector<sim::Time> fcts;
+  rpc.issue(50000, [&](sim::Time t) { fcts.push_back(t); });
+  rig.sim.run_until(50 * sim::kMillisecond);
+  ASSERT_EQ(fcts.size(), 1u);
+  EXPECT_GT(fcts[0], 0);
+  EXPECT_LT(fcts[0], 10 * sim::kMillisecond);
+  EXPECT_EQ(rpc.outstanding(), 0u);
+}
+
+TEST(RpcChannel, PipelinedRequestsCompleteInOrder) {
+  TwoHostRig rig;
+  auto req = std::make_unique<TcpByteChannel>(*rig.a, *rig.b, rig.flow());
+  auto resp = std::make_unique<TcpByteChannel>(
+      *rig.b, *rig.a, net::FlowKey{1, 0, 20000, 80});
+  RpcChannel rpc(rig.sim, std::move(req), std::move(resp));
+  std::vector<int> done;
+  for (int i = 0; i < 5; ++i) {
+    rpc.issue(10000, [&done, i](sim::Time) { done.push_back(i); });
+  }
+  rig.sim.run_until(100 * sim::kMillisecond);
+  EXPECT_EQ(done, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(ElephantApp, FixedSizeCompletes) {
+  TwoHostRig rig;
+  sim::Time completion = 0;
+  ElephantApp app(rig.sim,
+                  std::make_unique<TcpByteChannel>(*rig.a, *rig.b, rig.flow()),
+                  1000000, [&](sim::Time t) { completion = t; });
+  rig.sim.run_until(100 * sim::kMillisecond);
+  EXPECT_TRUE(app.complete());
+  EXPECT_GT(completion, 0);
+}
+
+TEST(ElephantApp, ContinuousKeepsFeeding) {
+  TwoHostRig rig;
+  ElephantApp app(rig.sim,
+                  std::make_unique<TcpByteChannel>(*rig.a, *rig.b, rig.flow()),
+                  0);
+  rig.sim.run_until(50 * sim::kMillisecond);
+  // At 10 GbE, 50 ms must move well past the first refill chunk (8 MB).
+  EXPECT_GT(app.delivered(), 16u * 1000 * 1000);
+}
+
+TEST(PeriodicRpcApp, CollectsSamplesWithinWindow) {
+  TwoHostRig rig;
+  auto req = std::make_unique<TcpByteChannel>(*rig.a, *rig.b, rig.flow());
+  auto resp = std::make_unique<TcpByteChannel>(
+      *rig.b, *rig.a, net::FlowKey{1, 0, 20000, 80});
+  RpcChannel rpc(rig.sim, std::move(req), std::move(resp));
+  PeriodicRpcApp app(rig.sim, rpc, 64, sim::kMillisecond, 0,
+                     50 * sim::kMillisecond, /*ping_pong=*/true);
+  app.set_measure_from(10 * sim::kMillisecond);
+  rig.sim.run_until(100 * sim::kMillisecond);
+  EXPECT_GE(app.fcts().count(), 30u);
+  EXPECT_LE(app.fcts().count(), 41u);  // ~40 ticks inside the window
+}
+
+}  // namespace
+}  // namespace presto::workload
