@@ -11,7 +11,8 @@
 using namespace presto;
 using namespace presto::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  JsonReporter json("ablation_flowcell_size", argc, argv);
   harness::RunOptions opt;
   opt.warmup = 100 * sim::kMillisecond;
   opt.measure = 400 * sim::kMillisecond;
@@ -27,6 +28,8 @@ int main() {
     // constructs FlowcellEngine from the host template, so override the
     // segment size the TCP stack emits as well when below 64 KB.
     cfg.flowcell_bytes = kb * 1024;
+    json.set_point("flowcell=" + std::to_string(kb) + "KB",
+                   {{"flowcell_kb", static_cast<double>(kb)}});
     const MultiRun r = run_seeds(cfg, stride_factory(16, 8), opt);
     std::printf("%-10u %10.2f %10.3f %12.3f %12.4f\n", kb, r.avg_tput_gbps,
                 r.fairness, r.rtt_ms.percentile(99), r.loss_pct);

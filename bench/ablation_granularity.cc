@@ -11,7 +11,8 @@
 using namespace presto;
 using namespace presto::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  JsonReporter json("ablation_granularity", argc, argv);
   harness::RunOptions opt;
   opt.warmup = 100 * sim::kMillisecond;
   opt.measure = 400 * sim::kMillisecond;
@@ -33,6 +34,7 @@ int main() {
   for (const Variant& v : variants) {
     harness::ExperimentConfig cfg;
     cfg.scheme = v.scheme;
+    json.set_point(v.name);
     const MultiRun r = run_seeds(cfg, stride_factory(16, 8), opt);
     std::printf("%-24s %10.2f %10.3f %10.4f\n", v.name, r.avg_tput_gbps,
                 r.fairness, r.loss_pct);

@@ -12,7 +12,8 @@
 using namespace presto;
 using namespace presto::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  JsonReporter json("ablation_gro_timeout", argc, argv);
   harness::RunOptions opt;
   opt.warmup = 100 * sim::kMillisecond;
   opt.measure = 400 * sim::kMillisecond;
@@ -46,6 +47,7 @@ int main() {
       cfg.host.presto_gro.min_ewma = v.initial;
       cfg.host.presto_gro.max_ewma = v.initial;
     }
+    json.set_point(v.name, {{"alpha", v.alpha}});
     const MultiRun r = run_seeds(cfg, stride_factory(16, 8), opt);
     std::printf("%-14s %10.2f %12.2f %12.2f %12.2f\n", v.name,
                 r.avg_tput_gbps, r.fct_ms.percentile(50),

@@ -10,7 +10,8 @@
 using namespace presto;
 using namespace presto::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  JsonReporter json("ablation_path_selection", argc, argv);
   harness::RunOptions opt;
   opt.warmup = 100 * sim::kMillisecond;
   opt.measure = 400 * sim::kMillisecond;
@@ -35,6 +36,7 @@ int main() {
     cfg.scheme = harness::Scheme::kPresto;
     cfg.flowcell_random_selection = v.random_selection;
     cfg.host.presto_gro.beta = v.beta;
+    json.set_point(v.name);
     const MultiRun r = run_seeds(cfg, stride_factory(16, 8), opt);
     std::printf("%-24s %10.2f %10.3f %12.3f %10.4f\n", v.name,
                 r.avg_tput_gbps, r.fairness, r.rtt_ms.percentile(99),

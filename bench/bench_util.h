@@ -2,73 +2,117 @@
 //
 // Every benchmark prints the same rows/series the paper reports, averaged
 // over several seeds (the paper averages 20 runs; we default to 3 to keep
-// wall-clock time reasonable — override with PRESTO_BENCH_SEEDS).
+// wall-clock time reasonable — override with PRESTO_BENCH_SEEDS). Seed
+// replicas run on a thread pool (PRESTO_BENCH_THREADS; defaults to the
+// hardware thread count) with results merged in seed order, so the numbers
+// are identical to a serial loop.
 #pragma once
 
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
 #include <vector>
 
+#include "bench_json.h"
 #include "harness/runners.h"
+#include "harness/sweep.h"
 #include "stats/samples.h"
 
 namespace presto::bench {
 
+namespace detail {
+
+/// Warns when an env knob is set but unusable, naming the variable, what a
+/// valid value looks like, and the fallback being applied. Each accessor
+/// parses once (thread-safe static init), so the warning prints once.
+inline void warn_env(const char* var, const char* value, const char* want,
+                     const char* fallback) {
+  std::fprintf(stderr,
+               "[bench] ignoring invalid %s=\"%s\" (want %s); using %s\n",
+               var, value, want, fallback);
+}
+
+inline long env_long(const char* var, long fallback, long lo, long hi,
+                     const char* want, const char* fallback_desc) {
+  const char* env = std::getenv(var);
+  if (env == nullptr) return fallback;
+  char* end = nullptr;
+  errno = 0;
+  const long n = std::strtol(env, &end, 10);
+  if (errno == 0 && end != env && *end == '\0' && n >= lo && n <= hi) {
+    return n;
+  }
+  warn_env(var, env, want, fallback_desc);
+  return fallback;
+}
+
+}  // namespace detail
+
 /// Number of seeds per data point (env PRESTO_BENCH_SEEDS, default 3).
 inline int seed_count() {
-  if (const char* env = std::getenv("PRESTO_BENCH_SEEDS")) {
-    const int n = std::atoi(env);
-    if (n > 0) return n;
-  }
-  return 3;
+  static const int n = static_cast<int>(
+      detail::env_long("PRESTO_BENCH_SEEDS", 3, 1, 1 << 20,
+                       "an integer > 0", "3"));
+  return n;
 }
 
 /// Scales run lengths (env PRESTO_BENCH_TIME_SCALE, default 1.0): smaller
 /// values make every benchmark proportionally quicker for smoke runs.
 inline double time_scale() {
-  if (const char* env = std::getenv("PRESTO_BENCH_TIME_SCALE")) {
-    const double s = std::atof(env);
-    if (s > 0) return s;
-  }
-  return 1.0;
+  static const double scale = [] {
+    const char* env = std::getenv("PRESTO_BENCH_TIME_SCALE");
+    if (env == nullptr) return 1.0;
+    char* end = nullptr;
+    errno = 0;
+    const double s = std::strtod(env, &end);
+    if (errno == 0 && end != env && *end == '\0' && s > 0) return s;
+    detail::warn_env("PRESTO_BENCH_TIME_SCALE", env, "a number > 0", "1.0");
+    return 1.0;
+  }();
+  return scale;
+}
+
+/// Sweep worker threads (env PRESTO_BENCH_THREADS; 0 = hardware threads).
+inline unsigned thread_count() {
+  static const unsigned n = static_cast<unsigned>(
+      detail::env_long("PRESTO_BENCH_THREADS", 0, 1, 4096,
+                       "an integer > 0", "hardware thread count"));
+  return n;
 }
 
 inline sim::Time scaled(sim::Time t) {
   return static_cast<sim::Time>(static_cast<double>(t) * time_scale());
 }
 
-/// Aggregate of several seeded runs of one experiment point.
-struct MultiRun {
-  double avg_tput_gbps = 0;
-  double fairness = 0;
-  double loss_pct = 0;
-  stats::Samples rtt_ms;
-  stats::Samples fct_ms;
-  std::uint64_t mice_timeouts = 0;
-  std::vector<harness::RunResult> runs;
-};
+/// Aggregate of several seeded runs of one experiment point (the sweep
+/// runner's merged view; `runs` holds the per-seed results).
+using MultiRun = harness::SweepResult;
 
-/// Runs `pairs_of(seeded experiment)` over several seeds and merges results.
+/// Runs `pairs_of(seeded experiment)` over several seeds — in parallel when
+/// PRESTO_BENCH_THREADS/hardware allows — and merges results. When a
+/// JsonReporter is active the merged point is recorded with telemetry
+/// collected from every layer.
 template <typename PairsFn>
 MultiRun run_seeds(harness::ExperimentConfig cfg, PairsFn pairs_of,
                    harness::RunOptions opt) {
-  MultiRun agg;
-  const int n = seed_count();
+  JsonReporter* json = JsonReporter::active();
+  if (json != nullptr) {
+    cfg.telemetry.metrics = true;
+    json->note_run_config(seed_count(), time_scale());
+  }
   opt.warmup = scaled(opt.warmup);
   opt.measure = scaled(opt.measure);
-  for (int s = 0; s < n; ++s) {
-    cfg.seed = 1000 + 77 * s;
-    const harness::RunResult r =
-        harness::run_pairs(cfg, pairs_of(cfg.seed), opt);
-    agg.avg_tput_gbps += r.avg_tput_gbps / n;
-    agg.fairness += r.fairness / n;
-    agg.loss_pct += r.loss_pct / n;
-    agg.rtt_ms.merge(r.rtt_ms);
-    agg.fct_ms.merge(r.fct_ms);
-    agg.mice_timeouts += r.mice_timeouts;
-    agg.runs.push_back(r);
-  }
+  harness::SweepOptions sweep;
+  sweep.seeds = seed_count();
+  sweep.threads = thread_count();
+  MultiRun agg = harness::run_sweep(
+      cfg,
+      [&pairs_of, &opt](const harness::ExperimentConfig& seeded) {
+        return harness::run_pairs(seeded, pairs_of(seeded.seed), opt);
+      },
+      sweep);
+  if (json != nullptr) json->record(cfg, agg);
   return agg;
 }
 

@@ -70,7 +70,9 @@ std::vector<std::uint64_t> measure_flowlets(int competing, sim::Time gap,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  JsonReporter json("fig01_flowlet_sizes", argc, argv);
+  json.note_run_config(seed_count(), time_scale());
   std::printf(
       "Figure 1: top-10 flowlet sizes (MB) of a %.0f MB transfer,\n"
       "500 us inactivity timer, vs competing flows\n\n",
@@ -83,6 +85,16 @@ int main() {
     std::sort(sizes.rbegin(), sizes.rend());
     std::uint64_t total = 0;
     for (auto s : sizes) total += s;
+    if (json.enabled()) {
+      harness::SweepResult sweep;
+      for (auto s : sizes) sweep.fct_ms.add(static_cast<double>(s));
+      harness::ExperimentConfig cfg;
+      cfg.scheme = harness::Scheme::kFlowlet;
+      json.set_point("competing=" + std::to_string(competing),
+                     {{"competing", static_cast<double>(competing)},
+                      {"flowlets", static_cast<double>(sizes.size())}});
+      json.record(cfg, sweep);
+    }
     std::printf("%-6d %-9zu %-8.2f", competing, sizes.size(),
                 total ? static_cast<double>(sizes.empty() ? 0 : sizes[0]) /
                             static_cast<double>(total)

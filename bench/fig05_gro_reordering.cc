@@ -22,13 +22,15 @@ struct GroRunResult {
   stats::Samples segment_sizes;
   double tput_gbps = 0;
   double cpu_pct = 0;
+  telemetry::Snapshot telemetry;
 };
 
-GroRunResult run_one(host::GroKind gro, std::uint64_t seed) {
+GroRunResult run_one(host::GroKind gro, std::uint64_t seed, bool telemetry) {
   harness::ExperimentConfig cfg;
   cfg.scheme = harness::Scheme::kPresto;  // flowcell spraying at the sender
   cfg.force_gro = true;                   // ...but pick the receiver GRO here
   cfg.host.gro = gro;
+  cfg.telemetry.metrics = telemetry;
   // Pronounced (but realistic) host scheduling jitter: keeps the two
   // senders' flowcells interleaving in the shared spine queues, which is
   // what makes this microbenchmark reorder "for each flow" (§5).
@@ -67,24 +69,53 @@ GroRunResult run_one(host::GroKind gro, std::uint64_t seed) {
       8.0 * static_cast<double>(d1 - d0) / sim::to_seconds(measure) / 1e9 / 2;
   r.cpu_pct = 100.0 * static_cast<double>(busy1 - busy0) /
               static_cast<double>(2 * measure);
+  r.telemetry = ex.telemetry_snapshot();
   return r;
+}
+
+GroRunResult run_seeds_for(host::GroKind gro, const JsonReporter& json) {
+  // One replica per seed on the sweep pool; merged in seed order.
+  const std::vector<harness::RunResult> runs = harness::run_indexed(
+      seed_count(), thread_count(), [&](int s) {
+        GroRunResult r = run_one(gro, 5000 + s, json.enabled());
+        harness::RunResult rr;
+        rr.rtt_ms = std::move(r.ooo_counts);       // sample-slot carriers
+        rr.fct_ms = std::move(r.segment_sizes);
+        rr.avg_tput_gbps = r.tput_gbps;
+        rr.fairness = r.cpu_pct;
+        rr.telemetry = std::move(r.telemetry);
+        return rr;
+      });
+  GroRunResult agg;
+  for (const harness::RunResult& r : runs) {
+    agg.ooo_counts.merge(r.rtt_ms);
+    agg.segment_sizes.merge(r.fct_ms);
+    agg.tput_gbps += r.avg_tput_gbps / seed_count();
+    agg.cpu_pct += r.fairness / seed_count();
+    agg.telemetry.merge(r.telemetry);
+  }
+  return agg;
 }
 
 }  // namespace
 
-int main() {
-  GroRunResult official, presto;
-  for (int s = 0; s < seed_count(); ++s) {
-    GroRunResult o = run_one(host::GroKind::kOfficial, 5000 + s);
-    GroRunResult p = run_one(host::GroKind::kPresto, 5000 + s);
-    official.ooo_counts.merge(o.ooo_counts);
-    official.segment_sizes.merge(o.segment_sizes);
-    official.tput_gbps += o.tput_gbps / seed_count();
-    official.cpu_pct += o.cpu_pct / seed_count();
-    presto.ooo_counts.merge(p.ooo_counts);
-    presto.segment_sizes.merge(p.segment_sizes);
-    presto.tput_gbps += p.tput_gbps / seed_count();
-    presto.cpu_pct += p.cpu_pct / seed_count();
+int main(int argc, char** argv) {
+  JsonReporter json("fig05_gro_reordering", argc, argv);
+  json.note_run_config(seed_count(), time_scale());
+  const GroRunResult official = run_seeds_for(host::GroKind::kOfficial, json);
+  const GroRunResult presto = run_seeds_for(host::GroKind::kPresto, json);
+  if (json.enabled()) {
+    const std::pair<const char*, const GroRunResult*> variants[] = {
+        {"OfficialGRO", &official}, {"PrestoGRO", &presto}};
+    for (const auto& [name, r] : variants) {
+      harness::SweepResult sweep;
+      sweep.avg_tput_gbps = r->tput_gbps;
+      sweep.telemetry = r->telemetry;
+      harness::ExperimentConfig cfg;
+      cfg.scheme = harness::Scheme::kPresto;
+      json.set_point(name, {{"cpu_pct", r->cpu_pct}});
+      json.record(cfg, sweep);
+    }
   }
 
   print_cdf_table("Figure 5a: out-of-order segment count per flowcell",

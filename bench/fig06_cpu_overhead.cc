@@ -15,10 +15,12 @@ struct CpuSeries {
   double tput_gbps = 0;
 };
 
-CpuSeries run_one(harness::Scheme scheme, std::uint64_t seed) {
+CpuSeries run_one(harness::Scheme scheme, std::uint64_t seed,
+                  bool telemetry, telemetry::Snapshot* snap) {
   harness::ExperimentConfig cfg;
   cfg.scheme = scheme;
   cfg.seed = seed;
+  cfg.telemetry.metrics = telemetry;
   harness::Experiment ex(cfg);
   const auto pairs = workload::stride_pairs(16, 8);
   std::vector<workload::ElephantApp*> els;
@@ -47,6 +49,7 @@ CpuSeries run_one(harness::Scheme scheme, std::uint64_t seed) {
   for (auto* e : els) delivered1 += e->delivered();
   out.tput_gbps = 8.0 * static_cast<double>(delivered1 - delivered0) /
                   sim::to_seconds(measure) / 1e9 / 16;
+  if (snap != nullptr) *snap = ex.telemetry_snapshot();
   return out;
 }
 
@@ -58,11 +61,32 @@ double mean(const std::vector<double>& v) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  JsonReporter json("fig06_cpu_overhead", argc, argv);
+  json.note_run_config(seed_count(), time_scale());
+  telemetry::Snapshot official_snap, presto_snap;
   // "Official" baseline: stride on a non-blocking switch => no reordering.
-  const CpuSeries official = run_one(harness::Scheme::kOptimal, 6000);
+  const CpuSeries official =
+      run_one(harness::Scheme::kOptimal, 6000, json.enabled(), &official_snap);
   // Presto: same workload over the Clos with flowcell spraying + Presto GRO.
-  const CpuSeries presto = run_one(harness::Scheme::kPresto, 6000);
+  const CpuSeries presto =
+      run_one(harness::Scheme::kPresto, 6000, json.enabled(), &presto_snap);
+  if (json.enabled()) {
+    const std::tuple<const char*, const CpuSeries*,
+                     const telemetry::Snapshot*> variants[] = {
+        {"OfficialGRO", &official, &official_snap},
+        {"PrestoGRO", &presto, &presto_snap}};
+    for (const auto& [name, series, snap] : variants) {
+      harness::SweepResult sweep;
+      sweep.avg_tput_gbps = series->tput_gbps;
+      for (double u : series->util_pct) sweep.rtt_ms.add(u);
+      sweep.telemetry = *snap;
+      harness::ExperimentConfig cfg;
+      cfg.scheme = harness::Scheme::kPresto;
+      json.set_point(name);
+      json.record(cfg, sweep);
+    }
+  }
 
   std::printf("Figure 6: receiver CPU usage time series (%% of one core)\n");
   std::printf("%-8s %12s %12s\n", "sample", "Official", "Presto");

@@ -9,7 +9,8 @@
 using namespace presto;
 using namespace presto::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  JsonReporter json("fig07_scalability_tput", argc, argv);
   harness::RunOptions opt;
   opt.warmup = 100 * sim::kMillisecond;
   opt.measure = 400 * sim::kMillisecond;
@@ -28,6 +29,9 @@ int main() {
       // One unidirectional flow per path: host i (leaf 1) -> host paths+i.
       std::vector<workload::HostPair> pairs;
       for (std::uint32_t i = 0; i < paths; ++i) pairs.emplace_back(i, paths + i);
+      json.set_point(std::string(harness::scheme_name(scheme)) + "/paths=" +
+                         std::to_string(paths),
+                     {{"paths", static_cast<double>(paths)}});
       const MultiRun r =
           run_seeds(cfg, [&](std::uint64_t) { return pairs; }, opt);
       std::printf(" %10.2f", r.avg_tput_gbps);

@@ -8,7 +8,8 @@
 using namespace presto;
 using namespace presto::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  JsonReporter json("fig08_scalability_rtt", argc, argv);
   constexpr std::uint32_t kPaths = 8;
   harness::RunOptions opt;
   opt.warmup = 100 * sim::kMillisecond;
@@ -25,6 +26,8 @@ int main() {
     cfg.spines = kPaths;
     cfg.leaves = 2;
     cfg.hosts_per_leaf = kPaths;
+    json.set_point(harness::scheme_name(scheme),
+                   {{"paths", static_cast<double>(kPaths)}});
     results.push_back(run_seeds(cfg, [&](std::uint64_t) { return pairs; },
                                 opt));
   }

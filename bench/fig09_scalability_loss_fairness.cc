@@ -10,7 +10,8 @@
 using namespace presto;
 using namespace presto::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  JsonReporter json("fig09_scalability_loss_fairness", argc, argv);
   harness::RunOptions opt;
   opt.warmup = 100 * sim::kMillisecond;
   opt.measure = 400 * sim::kMillisecond;
@@ -32,6 +33,9 @@ int main() {
       for (std::uint32_t i = 0; i < paths; ++i) {
         pairs.emplace_back(i, paths + i);
       }
+      json.set_point(std::string(harness::scheme_name(scheme)) + "/paths=" +
+                         std::to_string(paths),
+                     {{"paths", static_cast<double>(paths)}});
       const MultiRun r =
           run_seeds(cfg, [&](std::uint64_t) { return pairs; }, opt);
       loss.push_back(r.loss_pct);

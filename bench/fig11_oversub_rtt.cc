@@ -9,7 +9,8 @@
 using namespace presto;
 using namespace presto::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  JsonReporter json("fig11_oversub_rtt", argc, argv);
   constexpr std::uint32_t kPairs = 8;  // ratio 4 with 2 fabric paths
   harness::RunOptions opt;
   opt.warmup = 100 * sim::kMillisecond;
@@ -28,6 +29,8 @@ int main() {
     cfg.spines = 2;
     cfg.leaves = 2;
     cfg.hosts_per_leaf = kPairs;
+    json.set_point(harness::scheme_name(scheme),
+                   {{"ratio", kPairs / 2.0}});
     results.push_back(run_seeds(cfg, [&](std::uint64_t) { return pairs; },
                                 opt));
   }

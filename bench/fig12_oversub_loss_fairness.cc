@@ -8,7 +8,8 @@
 using namespace presto;
 using namespace presto::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  JsonReporter json("fig12_oversub_loss_fairness", argc, argv);
   harness::RunOptions opt;
   opt.warmup = 100 * sim::kMillisecond;
   opt.measure = 400 * sim::kMillisecond;
@@ -31,6 +32,9 @@ int main() {
       for (std::uint32_t i = 0; i < pairs_n; ++i) {
         pairs.emplace_back(i, pairs_n + i);
       }
+      json.set_point(std::string(harness::scheme_name(scheme)) + "/ratio=" +
+                         std::to_string(pairs_n / 2),
+                     {{"ratio", pairs_n / 2.0}});
       const MultiRun r =
           run_seeds(cfg, [&](std::uint64_t) { return pairs; }, opt);
       loss.push_back(r.loss_pct);

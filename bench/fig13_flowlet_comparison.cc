@@ -10,7 +10,8 @@
 using namespace presto;
 using namespace presto::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  JsonReporter json("fig13_flowlet_comparison", argc, argv);
   harness::RunOptions opt;
   opt.warmup = 100 * sim::kMillisecond;
   opt.measure = 400 * sim::kMillisecond;
@@ -35,6 +36,8 @@ int main() {
     harness::ExperimentConfig cfg;
     cfg.scheme = v.scheme;
     if (v.gap > 0) cfg.flowlet_gap = v.gap;
+    json.set_point(v.name,
+                   {{"flowlet_gap_us", static_cast<double>(v.gap) / 1000.0}});
     results.push_back(run_seeds(cfg, stride_factory(16, 8), opt));
     const MultiRun& r = results.back();
     std::printf("%-14s %10.2f %10.3f %10.4f\n", v.name, r.avg_tput_gbps,

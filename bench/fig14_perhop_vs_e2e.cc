@@ -10,7 +10,8 @@
 using namespace presto;
 using namespace presto::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  JsonReporter json("fig14_perhop_vs_e2e", argc, argv);
   harness::RunOptions opt;
   opt.warmup = 100 * sim::kMillisecond;
   opt.measure = 400 * sim::kMillisecond;
@@ -23,6 +24,7 @@ int main() {
        {harness::Scheme::kPrestoEcmp, harness::Scheme::kPresto}) {
     harness::ExperimentConfig cfg;
     cfg.scheme = scheme;
+    json.set_point(harness::scheme_name(scheme));
     results.push_back(run_seeds(cfg, stride_factory(16, 8), opt));
     std::printf("%-22s %10.2f %10.4f\n", harness::scheme_name(scheme),
                 results.back().avg_tput_gbps, results.back().loss_pct);

@@ -26,7 +26,9 @@ const char* wl_name(Wl w) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  JsonReporter json("fig15_synthetic_tput", argc, argv);
+  json.note_run_config(seed_count(), time_scale());
   harness::RunOptions opt;
   opt.warmup = 100 * sim::kMillisecond;
   opt.measure = 400 * sim::kMillisecond;
@@ -43,34 +45,46 @@ int main() {
     for (harness::Scheme scheme : headline_schemes()) {
       harness::ExperimentConfig cfg;
       cfg.scheme = scheme;
-      double sum = 0;
+      cfg.telemetry.metrics = json.enabled();
       const int seeds = seed_count();
-      for (int s = 0; s < seeds; ++s) {
-        cfg.seed = 2000 + 31 * s;
-        harness::RunOptions o = opt;
-        o.warmup = scaled(o.warmup);
-        o.measure = scaled(o.measure);
-        harness::RunResult r;
-        if (wl == Wl::kShuffle) {
-          r = harness::run_shuffle(cfg, kShuffleBytes, o);
-        } else {
-          sim::Rng rng(cfg.seed ^ 0xABCDEF);
-          std::vector<workload::HostPair> pairs;
-          auto pod = [&](net::HostId h) { return h / 4; };
-          switch (wl) {
-            case Wl::kRandom:
-              pairs = workload::random_pairs(16, pod, rng);
-              break;
-            case Wl::kStride:
-              pairs = workload::stride_pairs(16, 8);
-              break;
-            default:
-              pairs = workload::random_bijection(16, pod, rng);
-              break;
-          }
-          r = harness::run_pairs(cfg, pairs, o);
-        }
+      const std::vector<harness::RunResult> runs = harness::run_indexed(
+          seeds, thread_count(), [&, wl](int s) {
+            harness::ExperimentConfig seeded = cfg;
+            seeded.seed = 2000 + 31 * s;
+            harness::RunOptions o = opt;
+            o.warmup = scaled(o.warmup);
+            o.measure = scaled(o.measure);
+            if (wl == Wl::kShuffle) {
+              return harness::run_shuffle(seeded, kShuffleBytes, o);
+            }
+            sim::Rng rng(seeded.seed ^ 0xABCDEF);
+            std::vector<workload::HostPair> pairs;
+            auto pod = [&](net::HostId h) { return h / 4; };
+            switch (wl) {
+              case Wl::kRandom:
+                pairs = workload::random_pairs(16, pod, rng);
+                break;
+              case Wl::kStride:
+                pairs = workload::stride_pairs(16, 8);
+                break;
+              default:
+                pairs = workload::random_bijection(16, pod, rng);
+                break;
+            }
+            return harness::run_pairs(seeded, pairs, o);
+          });
+      double sum = 0;
+      harness::SweepResult agg;
+      for (const harness::RunResult& r : runs) {
         sum += r.avg_tput_gbps;
+        agg.telemetry.merge(r.telemetry);
+      }
+      if (json.enabled()) {
+        agg.avg_tput_gbps = sum / seeds;
+        agg.runs = runs;
+        json.set_point(std::string(harness::scheme_name(scheme)) + "/" +
+                       wl_name(wl));
+        json.record(cfg, agg);
       }
       std::printf(" %10.2f", sum / seeds);
       std::fflush(stdout);

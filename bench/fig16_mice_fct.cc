@@ -13,7 +13,7 @@ using namespace presto::bench;
 
 namespace {
 
-void run_workload(const char* name, bool shuffle,
+void run_workload(JsonReporter& json, const char* name, bool shuffle,
                   const std::vector<workload::HostPair>& pairs) {
   harness::RunOptions opt;
   opt.warmup = 100 * sim::kMillisecond;
@@ -27,17 +27,28 @@ void run_workload(const char* name, bool shuffle,
   for (harness::Scheme scheme : headline_schemes()) {
     harness::ExperimentConfig cfg;
     cfg.scheme = scheme;
+    cfg.telemetry.metrics = json.enabled();
     const int seeds = seed_count();
-    for (int s = 0; s < seeds; ++s) {
-      cfg.seed = 3000 + 13 * s;
-      harness::RunOptions o = opt;
-      o.warmup = scaled(o.warmup);
-      o.measure = scaled(o.measure);
-      const harness::RunResult r =
-          shuffle ? harness::run_shuffle(cfg, 12'000'000, o)
-                  : harness::run_pairs(cfg, pairs, o);
+    const std::vector<harness::RunResult> runs = harness::run_indexed(
+        seeds, thread_count(), [&](int s) {
+          harness::ExperimentConfig seeded = cfg;
+          seeded.seed = 3000 + 13 * s;
+          harness::RunOptions o = opt;
+          o.warmup = scaled(o.warmup);
+          o.measure = scaled(o.measure);
+          return shuffle ? harness::run_shuffle(seeded, 12'000'000, o)
+                         : harness::run_pairs(seeded, pairs, o);
+        });
+    for (const harness::RunResult& r : runs) {
       results[i].fct_ms.merge(r.fct_ms);
+      results[i].telemetry.merge(r.telemetry);
       timeouts[i] += r.mice_timeouts;
+    }
+    if (json.enabled()) {
+      results[i].mice_timeouts = timeouts[i];
+      results[i].runs = runs;
+      json.set_point(std::string(harness::scheme_name(scheme)) + "/" + name);
+      json.record(cfg, results[i]);
     }
     ++i;
   }
@@ -54,14 +65,16 @@ void run_workload(const char* name, bool shuffle,
 
 }  // namespace
 
-int main() {
-  run_workload("stride(8)", false, workload::stride_pairs(16, 8));
+int main(int argc, char** argv) {
+  JsonReporter json("fig16_mice_fct", argc, argv);
+  json.note_run_config(seed_count(), time_scale());
+  run_workload(json, "stride(8)", false, workload::stride_pairs(16, 8));
 
   sim::Rng rng(4242);
   auto pod = [](net::HostId h) { return net::SwitchId{h / 4}; };
-  run_workload("random bijection", false,
+  run_workload(json, "random bijection", false,
                workload::random_bijection(16, pod, rng));
 
-  run_workload("shuffle", true, {});
+  run_workload(json, "shuffle", true, {});
   return 0;
 }

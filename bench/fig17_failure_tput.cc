@@ -31,10 +31,12 @@ struct StageTputs {
   double symmetry = 0, failover = 0, weighted = 0;
 };
 
-StageTputs run_failure(const std::string& wl, std::uint64_t seed) {
+StageTputs run_failure(const std::string& wl, std::uint64_t seed,
+                       bool telemetry, telemetry::Snapshot* snap) {
   harness::ExperimentConfig cfg;
   cfg.scheme = harness::Scheme::kPresto;
   cfg.seed = seed;
+  cfg.telemetry.metrics = telemetry;
   cfg.controller.failover_detect_delay = 5 * sim::kMillisecond;
   cfg.controller.controller_react_delay = 200 * sim::kMillisecond;
   harness::Experiment ex(cfg);
@@ -70,22 +72,46 @@ StageTputs run_failure(const std::string& wl, std::uint64_t seed) {
                              tl.weighted);
   out.weighted = window_tput(tl.weighted + scaled(10 * sim::kMillisecond),
                              tl.weighted + scaled(200 * sim::kMillisecond));
+  if (snap != nullptr) *snap = ex.telemetry_snapshot();
   return out;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  JsonReporter json("fig17_failure_tput", argc, argv);
+  json.note_run_config(seed_count(), time_scale());
   std::printf("Figure 17: Presto throughput by failure stage (Gbps)\n");
   std::printf("%-12s %10s %10s %10s\n", "workload", "Symmetry", "Failover",
               "Weighted");
   for (const std::string wl : {"L1->L4", "L4->L1", "Stride", "Bijection"}) {
+    // Seed replicas in parallel; the three stage throughputs ride in
+    // per_flow_gbps so run_indexed's RunResult plumbing can carry them.
+    const std::vector<harness::RunResult> runs = harness::run_indexed(
+        seed_count(), thread_count(), [&](int s) {
+          harness::RunResult rr;
+          const StageTputs r = run_failure(wl, 9000 + 7 * s, json.enabled(),
+                                           &rr.telemetry);
+          rr.per_flow_gbps = {r.symmetry, r.failover, r.weighted};
+          return rr;
+        });
     StageTputs avg;
-    for (int s = 0; s < seed_count(); ++s) {
-      const StageTputs r = run_failure(wl, 9000 + 7 * s);
-      avg.symmetry += r.symmetry / seed_count();
-      avg.failover += r.failover / seed_count();
-      avg.weighted += r.weighted / seed_count();
+    harness::SweepResult agg;
+    for (const harness::RunResult& r : runs) {
+      avg.symmetry += r.per_flow_gbps[0] / seed_count();
+      avg.failover += r.per_flow_gbps[1] / seed_count();
+      avg.weighted += r.per_flow_gbps[2] / seed_count();
+      agg.telemetry.merge(r.telemetry);
+    }
+    if (json.enabled()) {
+      agg.avg_tput_gbps = avg.symmetry;
+      agg.runs = runs;
+      harness::ExperimentConfig cfg;
+      cfg.scheme = harness::Scheme::kPresto;
+      json.set_point(wl, {{"symmetry_gbps", avg.symmetry},
+                          {"failover_gbps", avg.failover},
+                          {"weighted_gbps", avg.weighted}});
+      json.record(cfg, agg);
     }
     std::printf("%-12s %10.2f %10.2f %10.2f\n", wl.c_str(), avg.symmetry,
                 avg.failover, avg.weighted);

@@ -12,13 +12,22 @@
 using namespace presto;
 using namespace presto::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  JsonReporter json("fig18_failure_rtt", argc, argv);
+  json.note_run_config(seed_count(), time_scale());
   stats::Samples symmetry, failover, weighted;
+  telemetry::Snapshot telem;
 
-  for (int s = 0; s < seed_count(); ++s) {
+  // Seed replicas in parallel. Per-stage RTT samples ride in RunResult's
+  // sample slots (rtt_ms=symmetry, fct_ms=failover) + per_flow_gbps
+  // (weighted) so run_indexed can carry them; merged in seed order below.
+  const std::vector<harness::RunResult> runs = harness::run_indexed(
+      seed_count(), thread_count(), [&](int s) {
+    stats::Samples sym_s, fo_s, w_s;
     harness::ExperimentConfig cfg;
     cfg.scheme = harness::Scheme::kPresto;
     cfg.seed = 9100 + 7 * s;
+    cfg.telemetry.metrics = json.enabled();
     cfg.controller.failover_detect_delay = 5 * sim::kMillisecond;
     cfg.controller.controller_react_delay = 200 * sim::kMillisecond;
     harness::Experiment ex(cfg);
@@ -49,17 +58,44 @@ int main() {
       app->set_on_sample([&, tl, warmup](sim::Time issued, sim::Time fct) {
         const double ms = sim::to_millis(fct);
         if (issued >= warmup && issued < tl.failed) {
-          symmetry.add(ms);
+          sym_s.add(ms);
         } else if (issued >= tl.failover + 5 * sim::kMillisecond &&
                    issued < tl.weighted) {
-          failover.add(ms);
+          fo_s.add(ms);
         } else if (issued >= tl.weighted + 10 * sim::kMillisecond) {
-          weighted.add(ms);
+          w_s.add(ms);
         }
       });
       probes.push_back(std::move(app));
     }
     ex.sim().run_until(stop);
+    harness::RunResult rr;
+    rr.rtt_ms = std::move(sym_s);
+    rr.fct_ms = std::move(fo_s);
+    rr.per_flow_gbps = w_s.values();
+    rr.telemetry = ex.telemetry_snapshot();
+    return rr;
+  });
+
+  for (const harness::RunResult& r : runs) {
+    symmetry.merge(r.rtt_ms);
+    failover.merge(r.fct_ms);
+    for (double v : r.per_flow_gbps) weighted.add(v);
+    telem.merge(r.telemetry);
+  }
+  if (json.enabled()) {
+    harness::ExperimentConfig cfg;
+    cfg.scheme = harness::Scheme::kPresto;
+    const std::pair<const char*, const stats::Samples*> stages[] = {
+        {"Symmetry", &symmetry}, {"Failover", &failover},
+        {"Weighted", &weighted}};
+    for (const auto& [name, samples] : stages) {
+      harness::SweepResult sweep;
+      sweep.rtt_ms = *samples;
+      sweep.telemetry = telem;
+      json.set_point(name);
+      json.record(cfg, sweep);
+    }
   }
 
   print_cdf_table(

@@ -26,13 +26,15 @@ namespace {
 struct TraceResult {
   stats::Samples mice_fct_ms;       // flows < 100 KB
   stats::Samples elephant_gbps;     // flows > 1 MB: size / FCT
+  telemetry::Snapshot telemetry;
 };
 
 TraceResult run_trace(harness::Scheme scheme, std::uint64_t seed,
-                      sim::Time measure) {
+                      sim::Time measure, bool telemetry) {
   harness::ExperimentConfig cfg;
   cfg.scheme = scheme;
   cfg.seed = seed;
+  cfg.telemetry.metrics = telemetry;
   harness::Experiment ex(cfg);
   sim::Rng rng = ex.fork_rng();
   workload::TraceFlowDist dist(10.0);
@@ -91,22 +93,49 @@ TraceResult run_trace(harness::Scheme scheme, std::uint64_t seed,
   }
 
   ex.sim().run_until(stop + scaled(200 * sim::kMillisecond));  // drain
+  result->telemetry = ex.telemetry_snapshot();
   return *result;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  JsonReporter json("table1_trace_fct", argc, argv);
+  json.note_run_config(seed_count(), time_scale());
   const sim::Time measure = scaled(1500 * sim::kMillisecond);
   std::map<harness::Scheme, TraceResult> results;
   for (harness::Scheme scheme :
        {harness::Scheme::kEcmp, harness::Scheme::kOptimal,
         harness::Scheme::kPresto}) {
+    // Seed replicas on the sweep pool; merge in seed order (run_indexed
+    // returns results in index order, so this matches a serial loop).
+    std::vector<harness::RunResult> runs = harness::run_indexed(
+        seed_count(), thread_count(), [&](int s) {
+          TraceResult r = run_trace(scheme, 7000 + 11 * s, measure,
+                                    json.enabled());
+          harness::RunResult rr;
+          rr.fct_ms = std::move(r.mice_fct_ms);
+          rr.per_flow_gbps = r.elephant_gbps.values();
+          rr.avg_tput_gbps = r.elephant_gbps.mean();
+          rr.telemetry = std::move(r.telemetry);
+          return rr;
+        });
     TraceResult agg;
-    for (int s = 0; s < seed_count(); ++s) {
-      TraceResult r = run_trace(scheme, 7000 + 11 * s, measure);
-      agg.mice_fct_ms.merge(r.mice_fct_ms);
-      agg.elephant_gbps.merge(r.elephant_gbps);
+    for (const harness::RunResult& r : runs) {
+      agg.mice_fct_ms.merge(r.fct_ms);
+      for (double v : r.per_flow_gbps) agg.elephant_gbps.add(v);
+      agg.telemetry.merge(r.telemetry);
+    }
+    if (json.enabled()) {
+      harness::SweepResult sweep;
+      sweep.avg_tput_gbps = agg.elephant_gbps.mean();
+      sweep.fct_ms = agg.mice_fct_ms;
+      sweep.telemetry = agg.telemetry;
+      sweep.runs = std::move(runs);
+      harness::ExperimentConfig cfg;
+      cfg.scheme = scheme;
+      json.set_point(harness::scheme_name(scheme));
+      json.record(cfg, sweep);
     }
     results[scheme] = agg;
     std::fprintf(stderr, "%s done (%zu mice, %zu elephants)\n",

@@ -26,12 +26,14 @@ struct NsResult {
   stats::Samples mice_fct_ms;
   double avg_tput_gbps = 0;
   std::uint64_t mice_timeouts = 0;
+  telemetry::Snapshot telemetry;
 };
 
-NsResult run_ns(harness::Scheme scheme, std::uint64_t seed) {
+NsResult run_ns(harness::Scheme scheme, std::uint64_t seed, bool telemetry) {
   harness::ExperimentConfig cfg;
   cfg.scheme = scheme;
   cfg.seed = seed;
+  cfg.telemetry.metrics = telemetry;
   cfg.remote_users_per_spine = 1;
   cfg.remote_link_rate_bps = 100e6;
   harness::Experiment ex(cfg);
@@ -111,22 +113,47 @@ NsResult run_ns(harness::Scheme scheme, std::uint64_t seed) {
     for (double fct_ns : app->fcts().values()) r.mice_fct_ms.add(fct_ns / 1e6);
   }
   for (auto* ch : mice_chans) r.mice_timeouts += ch->timeouts();
+  r.telemetry = ex.telemetry_snapshot();
   return r;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  JsonReporter json("table2_north_south", argc, argv);
+  json.note_run_config(seed_count(), time_scale());
   std::map<harness::Scheme, NsResult> results;
   for (harness::Scheme scheme : headline_schemes()) {
+    const std::vector<harness::RunResult> runs = harness::run_indexed(
+        seed_count(), thread_count(), [&](int s) {
+          NsResult r = run_ns(scheme, 8000 + 17 * s, json.enabled());
+          harness::RunResult rr;
+          rr.fct_ms = std::move(r.mice_fct_ms);
+          rr.avg_tput_gbps = r.avg_tput_gbps;
+          rr.mice_timeouts = r.mice_timeouts;
+          rr.telemetry = std::move(r.telemetry);
+          return rr;
+        });
     NsResult agg;
-    for (int s = 0; s < seed_count(); ++s) {
-      NsResult r = run_ns(scheme, 8000 + 17 * s);
-      agg.mice_fct_ms.merge(r.mice_fct_ms);
+    for (const harness::RunResult& r : runs) {
+      agg.mice_fct_ms.merge(r.fct_ms);
       agg.avg_tput_gbps += r.avg_tput_gbps / seed_count();
       agg.mice_timeouts += r.mice_timeouts;
+      agg.telemetry.merge(r.telemetry);
     }
-    results[scheme] = agg;
+    if (json.enabled()) {
+      harness::SweepResult sweep;
+      sweep.avg_tput_gbps = agg.avg_tput_gbps;
+      sweep.mice_timeouts = agg.mice_timeouts;
+      sweep.fct_ms = agg.mice_fct_ms;
+      sweep.telemetry = agg.telemetry;
+      sweep.runs = runs;
+      harness::ExperimentConfig cfg;
+      cfg.scheme = scheme;
+      json.set_point(harness::scheme_name(scheme));
+      json.record(cfg, sweep);
+    }
+    results[scheme] = std::move(agg);
     std::fprintf(stderr, "%s done\n", harness::scheme_name(scheme));
   }
 

@@ -221,6 +221,7 @@ void Controller::build_schedules() {
         labels.push_back(label_for(dst, t));
       }
       map.set_schedule(dst, std::move(labels));
+      if (telem_ != nullptr) telem_->schedules_set->inc();
     }
   }
 }
@@ -236,6 +237,7 @@ Controller::FailureTimeline Controller::schedule_link_failure(
       throw std::runtime_error("no such fabric link to fail");
     }
     failed_.insert({leaf, spine, group});
+    if (telem_ != nullptr) telem_->link_failures->inc();
     // The adjacent leaf's pre-installed failover group redirects its uplink
     // traffic immediately (hardware fast failover).
   });
@@ -253,6 +255,7 @@ void Controller::schedule_link_restore(net::SwitchId leaf,
   sim.schedule_at(at, [this, leaf, spine, group] {
     topo_.set_fabric_link_down(leaf, spine, group, false);
     failed_.erase({leaf, spine, group});
+    if (telem_ != nullptr) telem_->link_restores->inc();
     // Undo any ingress reroute: point the affected tree's labels back at
     // the original spine on every leaf.
     for (const Tree& t : trees_) {
@@ -289,7 +292,10 @@ void Controller::set_pair_weights(net::HostId src, net::HostId dst,
   for (std::size_t tree_idx : order) {
     labels.push_back(label_for(dst, trees_.at(tree_idx)));
   }
-  if (!labels.empty()) maps_[src].set_schedule(dst, std::move(labels));
+  if (!labels.empty()) {
+    maps_[src].set_schedule(dst, std::move(labels));
+    if (telem_ != nullptr) telem_->schedules_set->inc();
+  }
 }
 
 void Controller::apply_ingress_reroute(net::SwitchId dead_leaf,
@@ -297,6 +303,7 @@ void Controller::apply_ingress_reroute(net::SwitchId dead_leaf,
                                        std::uint32_t dead_group) {
   // Labels whose tree crosses the dead (spine -> dead_leaf) hop are
   // re-pointed at a backup spine on every ingress leaf.
+  if (telem_ != nullptr) telem_->ingress_reroutes->inc();
   const net::SwitchId alt = backup_spine(dead_spine);
   for (const Tree& t : trees_) {
     if (t.spine != dead_spine || t.group != dead_group) continue;
@@ -329,6 +336,14 @@ bool Controller::tree_alive(const Tree& t, net::SwitchId src_leaf,
 }
 
 void Controller::push_weighted_schedules() {
+  if (telem_ != nullptr) {
+    telem_->reweight_pushes->inc();
+    if (telem_->tracer != nullptr) {
+      telem_->tracer->record(topo_.sim().now(),
+                             telemetry::EventType::kControllerReweight, 0, -1,
+                             failed_.size(), trees_.size());
+    }
+  }
   for (net::HostId src = 0; src < topo_.host_count(); ++src) {
     const net::SwitchId src_edge = topo_.host(src).edge_switch;
     core::LabelMap& map = maps_[src];
@@ -345,7 +360,10 @@ void Controller::push_weighted_schedules() {
           labels.push_back(label_for(dst, t));
         }
       }
-      if (!labels.empty()) map.set_schedule(dst, std::move(labels));
+      if (!labels.empty()) {
+        map.set_schedule(dst, std::move(labels));
+        if (telem_ != nullptr) telem_->schedules_set->inc();
+      }
     }
   }
 }

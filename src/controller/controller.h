@@ -24,6 +24,7 @@
 #include "core/label_map.h"
 #include "net/topology.h"
 #include "sim/simulation.h"
+#include "telemetry/probes.h"
 
 namespace presto::controller {
 
@@ -90,6 +91,11 @@ class Controller {
   bool tree_alive(const Tree& t, net::SwitchId src_leaf,
                   net::SwitchId dst_leaf) const;
 
+  /// Attaches telemetry probes (null disables).
+  void attach_telemetry(const telemetry::ControllerProbes* probes) {
+    telem_ = probes;
+  }
+
  private:
   void build_trees();
   void install_labels();
@@ -118,6 +124,7 @@ class Controller {
   std::unordered_map<net::HostId, core::LabelMap> maps_;
   /// Failed (leaf, spine, group) triples.
   std::set<std::tuple<net::SwitchId, net::SwitchId, std::uint32_t>> failed_;
+  const telemetry::ControllerProbes* telem_ = nullptr;
 };
 
 }  // namespace presto::controller

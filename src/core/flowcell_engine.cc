@@ -6,10 +6,12 @@ void FlowcellEngine::on_segment(net::Packet& seg) {
   FlowState& st = flows_[seg.flow];
   const std::vector<net::MacAddr>* sched = labels_.schedule(seg.dst_host);
 
+  if (telem_ != nullptr) telem_->segments->inc();
   if (!st.initialized) {
     st.initialized = true;
     st.map_version = labels_.version();
     ++flowcells_created_;
+    if (telem_ != nullptr) telem_->cells->inc();
     if (sched != nullptr) {
       // Randomize the starting path so independent senders don't stampede
       // the same spanning tree in lockstep.
@@ -41,6 +43,7 @@ void FlowcellEngine::on_segment(net::Packet& seg) {
     }
     ++st.flowcell_id;
     ++flowcells_created_;
+    if (telem_ != nullptr) telem_->cells->inc();
   } else {
     st.bytecount += len;
   }
@@ -53,7 +56,16 @@ void FlowcellEngine::on_segment(net::Packet& seg) {
     return;                           // dst MAC stays the real address
   }
   if (sched != nullptr) {
-    seg.dst_mac = (*sched)[st.cursor % sched->size()];
+    const std::size_t slot = st.cursor % sched->size();
+    seg.dst_mac = (*sched)[slot];
+    if (telem_ != nullptr) {
+      telem_->label_index->add(static_cast<double>(slot));
+      if (telem_->tracer != nullptr) {
+        telem_->tracer->record(clock_ != nullptr ? clock_->now() : 0,
+                               telemetry::EventType::kFlowcellDispatch,
+                               seg.flow.src_host, -1, st.flowcell_id, slot);
+      }
+    }
   }
 }
 

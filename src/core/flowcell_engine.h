@@ -13,6 +13,8 @@
 #include "core/label_map.h"
 #include "lb/sender_lb.h"
 #include "net/flow_key.h"
+#include "sim/simulation.h"
+#include "telemetry/probes.h"
 
 namespace presto::core {
 
@@ -43,6 +45,23 @@ class FlowcellEngine final : public lb::SenderLb {
   /// Total flowcells started across all flows (diagnostics).
   std::uint64_t flowcells_created() const { return flowcells_created_; }
 
+  /// Attaches telemetry probes (null disables). `clock` supplies event
+  /// timestamps; trace events use time 0 when it is null.
+  void attach_telemetry(const telemetry::FlowcellProbes* probes,
+                        const sim::Simulation* clock = nullptr) {
+    telem_ = probes;
+    clock_ = clock;
+  }
+
+  /// End-of-run publication of per-flow aggregates (cells per flow) into the
+  /// attached histogram; no-op when telemetry is disabled.
+  void publish_telemetry() const {
+    if (telem_ == nullptr) return;
+    for (const auto& [flow, st] : flows_) {
+      telem_->cells_per_flow->add(static_cast<double>(st.flowcell_id));
+    }
+  }
+
  private:
   struct FlowState {
     std::uint64_t bytecount = 0;
@@ -56,6 +75,8 @@ class FlowcellEngine final : public lb::SenderLb {
   FlowcellConfig cfg_;
   std::unordered_map<net::FlowKey, FlowState, net::FlowKeyHash> flows_;
   std::uint64_t flowcells_created_ = 0;
+  const telemetry::FlowcellProbes* telem_ = nullptr;
+  const sim::Simulation* clock_ = nullptr;
 };
 
 }  // namespace presto::core

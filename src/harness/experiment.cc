@@ -21,6 +21,10 @@ const char* scheme_name(Scheme s) {
 
 Experiment::Experiment(ExperimentConfig cfg)
     : cfg_(std::move(cfg)), rng_(cfg_.seed) {
+  if (cfg_.telemetry.metrics || cfg_.telemetry.trace) {
+    telem_ = std::make_unique<telemetry::Session>(cfg_.telemetry);
+    cfg_.mptcp.tcp.telemetry = telem_->tcp_probes();
+  }
   net::LinkConfig link;
   link.rate_bps = cfg_.link_rate_bps;
   link.propagation = cfg_.link_propagation;
@@ -48,6 +52,13 @@ Experiment::Experiment(ExperimentConfig cfg)
     }
   }
   ctl_ = std::make_unique<controller::Controller>(*topo_, cfg_.controller);
+  if (telem_ != nullptr) {
+    for (net::SwitchId s = 0; s < topo_->switch_count(); ++s) {
+      topo_->get_switch(s).attach_telemetry(telem_->switch_probes(),
+                                            telem_->port_probes());
+    }
+    ctl_->attach_telemetry(telem_->controller_probes());
+  }
   ctl_->install();
   build_hosts();
 }
@@ -56,6 +67,10 @@ void Experiment::build_hosts() {
   const std::uint32_t num_servers = cfg_.leaves * cfg_.hosts_per_leaf;
   for (net::HostId h = 0; h < topo_->host_count(); ++h) {
     host::HostConfig hc = cfg_.host;
+    if (telem_ != nullptr) {
+      hc.gro_telemetry = telem_->gro_probes();
+      hc.tcp.telemetry = telem_->tcp_probes();
+    }
     hc.jitter_seed = net::mix64(cfg_.seed ^ (0xBEEF00ULL + h));
     hc.uplink = topo_->host(h).link;
     hc.uplink.queue_bytes =
@@ -106,14 +121,24 @@ std::unique_ptr<lb::SenderLb> Experiment::make_lb(net::HostId h) {
       fc.seed = seed;
       fc.threshold_bytes = cfg_.flowcell_bytes;
       fc.random_selection = cfg_.flowcell_random_selection;
-      return std::make_unique<core::FlowcellEngine>(map, fc);
+      auto engine = std::make_unique<core::FlowcellEngine>(map, fc);
+      if (telem_ != nullptr) {
+        engine->attach_telemetry(telem_->flowcell_probes(), &sim_);
+        flowcell_engines_.push_back(engine.get());
+      }
+      return engine;
     }
     case Scheme::kPrestoEcmp: {
       core::FlowcellConfig fc;
       fc.seed = seed;
       fc.threshold_bytes = cfg_.flowcell_bytes;
       fc.per_hop_ecmp = true;
-      return std::make_unique<core::FlowcellEngine>(map, fc);
+      auto engine = std::make_unique<core::FlowcellEngine>(map, fc);
+      if (telem_ != nullptr) {
+        engine->attach_telemetry(telem_->flowcell_probes(), &sim_);
+        flowcell_engines_.push_back(engine.get());
+      }
+      return engine;
     }
     case Scheme::kEcmp:
     case Scheme::kMptcp:
@@ -174,6 +199,17 @@ Experiment::Counters Experiment::switch_counters() const {
   c.enqueued = topo_->total_enqueued();
   c.dropped = topo_->total_drops();
   return c;
+}
+
+telemetry::Snapshot Experiment::telemetry_snapshot() {
+  if (telem_ == nullptr) return {};
+  if (!telemetry_published_) {
+    telemetry_published_ = true;
+    for (core::FlowcellEngine* engine : flowcell_engines_) {
+      engine->publish_telemetry();
+    }
+  }
+  return telem_->snapshot();
 }
 
 }  // namespace presto::harness

@@ -15,6 +15,7 @@
 #include "net/topology.h"
 #include "sim/rng.h"
 #include "sim/simulation.h"
+#include "telemetry/probes.h"
 #include "workload/apps.h"
 #include "workload/channel.h"
 
@@ -65,6 +66,9 @@ struct ExperimentConfig {
   bool force_gro = false;
 
   controller::ControllerConfig controller;
+  /// Telemetry switches. Off by default: the probes cost nothing when no
+  /// Session exists (every component holds a null probe pointer).
+  telemetry::TelemetryConfig telemetry;
   std::uint64_t seed = 1;
 };
 
@@ -125,6 +129,16 @@ class Experiment {
   };
   Counters switch_counters() const;
 
+  /// Null unless cfg.telemetry enabled metrics or tracing.
+  telemetry::Session* telemetry() { return telem_.get(); }
+  telemetry::Tracer* tracer() {
+    return telem_ != nullptr ? telem_->tracer() : nullptr;
+  }
+  /// Publishes end-of-run derived metrics (flowcells per flow) and returns
+  /// the merged registry+trace snapshot. Empty when telemetry is disabled.
+  /// Safe to call repeatedly; derived metrics are published once.
+  telemetry::Snapshot telemetry_snapshot();
+
  private:
   void build_hosts();
   std::unique_ptr<lb::SenderLb> make_lb(net::HostId h);
@@ -132,6 +146,9 @@ class Experiment {
   ExperimentConfig cfg_;
   sim::Simulation sim_;
   sim::Rng rng_;
+  std::unique_ptr<telemetry::Session> telem_;
+  std::vector<core::FlowcellEngine*> flowcell_engines_;
+  bool telemetry_published_ = false;
   std::unique_ptr<net::Topology> topo_;
   std::unique_ptr<controller::Controller> ctl_;
   std::vector<std::unique_ptr<host::Host>> hosts_;

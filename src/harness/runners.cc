@@ -101,6 +101,7 @@ RunResult run_pairs(const ExperimentConfig& cfg,
                         : 100.0 * static_cast<double>(drop) /
                               static_cast<double>(enq + drop);
   probes.collect(r);
+  r.telemetry = ex.telemetry_snapshot();
   return r;
 }
 
@@ -178,6 +179,7 @@ RunResult run_shuffle(const ExperimentConfig& cfg,
                         : 100.0 * static_cast<double>(drop) /
                               static_cast<double>(enq + drop);
   probes.collect(r);
+  r.telemetry = ex.telemetry_snapshot();
   return r;
 }
 

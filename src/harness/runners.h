@@ -36,6 +36,8 @@ struct RunResult {
   stats::Samples rtt_ms;               ///< Probe round-trip times.
   stats::Samples fct_ms;               ///< Mice flow completion times.
   std::uint64_t mice_timeouts = 0;     ///< RTOs on mice connections.
+  /// End-of-run telemetry (empty unless cfg.telemetry enabled it).
+  telemetry::Snapshot telemetry;
 };
 
 /// Runs fixed sender->receiver pairs (stride / random / bijection / custom).

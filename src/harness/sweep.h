@@ -1,0 +1,55 @@
+// Multi-seed sweep runner: runs N seed replicas of an experiment point on a
+// thread pool and merges the results.
+//
+// Each replica owns its own Simulation/Experiment (the simulator is not
+// thread-safe, but replicas share nothing — there is no global mutable state
+// in src/), so seeds are embarrassingly parallel. Results are merged in seed
+// order regardless of completion order, which reproduces the serial loop's
+// floating-point accumulation bit-for-bit: `threads=N` and `threads=1` give
+// identical merged numbers.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "harness/runners.h"
+
+namespace presto::harness {
+
+struct SweepOptions {
+  /// Seed replicas per point. cfg.seed is overwritten per replica with
+  /// base_seed + seed_stride * s (the series the benchmarks always used).
+  int seeds = 3;
+  std::uint64_t base_seed = 1000;
+  std::uint64_t seed_stride = 77;
+  /// Worker threads: 0 = hardware_concurrency, 1 = run serially inline.
+  unsigned threads = 0;
+};
+
+/// Merged view of all replicas plus the per-seed results (seed order).
+struct SweepResult {
+  double avg_tput_gbps = 0;         ///< Mean over seeds.
+  double fairness = 0;              ///< Mean over seeds.
+  double loss_pct = 0;              ///< Mean over seeds.
+  stats::Samples rtt_ms;            ///< Union of all seeds' samples.
+  stats::Samples fct_ms;            ///< Union of all seeds' samples.
+  std::uint64_t mice_timeouts = 0;  ///< Sum over seeds.
+  telemetry::Snapshot telemetry;    ///< Merged (counters sum, gauges max).
+  std::vector<RunResult> runs;      ///< One entry per seed.
+};
+
+/// One seeded replica: receives the config with cfg.seed already set.
+using SweepRunFn = std::function<RunResult(const ExperimentConfig&)>;
+
+/// Runs fn(i) for i in [0, n) on `threads` workers; results land in index
+/// order. threads<=1 (or n<=1) runs inline. The first failing index's
+/// exception is rethrown on the calling thread after all workers join.
+std::vector<RunResult> run_indexed(int n, unsigned threads,
+                                   const std::function<RunResult(int)>& fn);
+
+/// Runs `run` once per seed replica of `base` and merges the results.
+SweepResult run_sweep(const ExperimentConfig& base, const SweepRunFn& run,
+                      const SweepOptions& opt = {});
+
+}  // namespace presto::harness

@@ -25,6 +25,9 @@ Host::Host(sim::Simulation& sim, net::HostId id, HostConfig cfg)
       gro_ = nullptr;
       break;
   }
+  if (gro_ != nullptr && cfg_.gro_telemetry != nullptr) {
+    gro_->attach_telemetry(cfg_.gro_telemetry, id_);
+  }
 }
 
 tcp::TcpSender& Host::create_sender(const net::FlowKey& flow) {

@@ -76,6 +76,9 @@ struct HostConfig {
   /// Re-flush cadence while Presto GRO holds segments (so held segments
   /// cannot stall when the NIC goes idle).
   sim::Time held_flush_interval = 20 * sim::kMicrosecond;
+  /// GRO-layer telemetry probes (null disables; set by the harness — TCP
+  /// probes travel inside `tcp.telemetry`).
+  const telemetry::GroProbes* gro_telemetry = nullptr;
 };
 
 class Host : public net::PacketSink {

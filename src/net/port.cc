@@ -9,11 +9,32 @@ void TxPort::enqueue(Packet p) {
       queued_bytes_ + p.buffer_bytes() > cfg_.queue_bytes) {
     ++counters_.dropped_packets;
     counters_.dropped_bytes += p.buffer_bytes();
+    if (telem_ != nullptr) {
+      const bool unusable = down_ || peer_ == nullptr;
+      const auto cause = unusable ? telemetry::DropCause::kLinkDown
+                                  : telemetry::DropCause::kQueueFull;
+      (unusable ? telem_->drop_link_down : telem_->drop_queue_full)->inc();
+      if (telem_->tracer != nullptr) {
+        telem_->tracer->record(sim_.now(), telemetry::EventType::kDrop,
+                               telem_node_, telem_port_,
+                               static_cast<std::uint64_t>(cause),
+                               p.buffer_bytes());
+      }
+    }
     return;
   }
   ++counters_.enqueued_packets;
   queued_bytes_ += p.buffer_bytes();
   queue_.push_back(std::move(p));
+  if (telem_ != nullptr) {
+    telem_->enqueued->inc();
+    telem_->queue_depth_bytes->add(static_cast<double>(queued_bytes_));
+    if (telem_->tracer != nullptr) {
+      telem_->tracer->record(sim_.now(), telemetry::EventType::kEnqueue,
+                             telem_node_, telem_port_, queued_bytes_,
+                             p.buffer_bytes());
+    }
+  }
   if (!busy_) start_transmission();
 }
 

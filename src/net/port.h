@@ -12,6 +12,7 @@
 #include "net/packet.h"
 #include "net/sink.h"
 #include "sim/simulation.h"
+#include "telemetry/probes.h"
 
 namespace presto::net {
 
@@ -64,6 +65,15 @@ class TxPort {
   std::uint64_t queued_bytes() const { return queued_bytes_; }
   bool connected() const { return peer_ != nullptr; }
 
+  /// Attaches metrics/tracing probes (null disables). `node`/`port` label
+  /// trace events with the owning switch/host and local port id.
+  void attach_telemetry(const telemetry::PortProbes* probes,
+                        std::uint32_t node, std::int32_t port) {
+    telem_ = probes;
+    telem_node_ = node;
+    telem_port_ = port;
+  }
+
  private:
   void start_transmission();
 
@@ -77,6 +87,10 @@ class TxPort {
   bool busy_ = false;
   bool down_ = false;
   PortCounters counters_;
+
+  const telemetry::PortProbes* telem_ = nullptr;
+  std::uint32_t telem_node_ = 0;
+  std::int32_t telem_port_ = -1;
 };
 
 }  // namespace presto::net

@@ -5,13 +5,18 @@ namespace presto::net {
 void Switch::receive(Packet p, PortId in_port) {
   (void)in_port;
   PortId out = resolve(p);
+  if (out != kInvalidPort) out = apply_failover(out);
   if (out == kInvalidPort) {
     ++no_route_drops_;
-    return;
-  }
-  out = apply_failover(out);
-  if (out == kInvalidPort) {
-    ++no_route_drops_;
+    if (telem_ != nullptr) {
+      telem_->drop_no_route->inc();
+      if (telem_->tracer != nullptr) {
+        telem_->tracer->record(
+            sim_.now(), telemetry::EventType::kDrop, id_, in_port,
+            static_cast<std::uint64_t>(telemetry::DropCause::kNoRoute),
+            p.buffer_bytes());
+      }
+    }
     return;
   }
   ports_[static_cast<std::size_t>(out)]->enqueue(std::move(p));

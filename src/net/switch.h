@@ -74,6 +74,17 @@ class Switch : public PacketSink {
   /// Aggregate counters over all ports (loss-rate reporting, §4).
   PortCounters total_counters() const;
 
+  /// Attaches switch-level probes and propagates port probes to every
+  /// existing output port (null disables).
+  void attach_telemetry(const telemetry::SwitchProbes* sw,
+                        const telemetry::PortProbes* port_probes) {
+    telem_ = sw;
+    for (std::size_t i = 0; i < ports_.size(); ++i) {
+      ports_[i]->attach_telemetry(port_probes, id_,
+                                  static_cast<std::int32_t>(i));
+    }
+  }
+
  private:
   PortId resolve(const Packet& p) const;
   PortId apply_failover(PortId out) const;
@@ -87,6 +98,7 @@ class Switch : public PacketSink {
   std::unordered_map<HostId, std::vector<PortId>> ecmp_groups_;
   std::unordered_map<PortId, PortId> failover_;
   std::uint64_t no_route_drops_ = 0;
+  const telemetry::SwitchProbes* telem_ = nullptr;
 };
 
 }  // namespace presto::net

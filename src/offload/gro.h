@@ -11,6 +11,7 @@
 #include "net/packet.h"
 #include "offload/segment.h"
 #include "sim/time.h"
+#include "telemetry/probes.h"
 
 namespace presto::offload {
 
@@ -37,11 +38,70 @@ class GroEngine {
   /// so held segments cannot stall when the NIC goes idle).
   virtual bool has_held_segments() const = 0;
 
+  /// Attaches telemetry probes (null disables). `node` labels trace events
+  /// with the owning host id.
+  void attach_telemetry(const telemetry::GroProbes* probes,
+                        std::uint32_t node) {
+    telem_ = probes;
+    telem_node_ = node;
+  }
+
  protected:
-  void push_up(Segment s) { push_(std::move(s)); }
+  /// Pushes a merged segment up the stack, accounting it under `cause`.
+  void push_up(Segment s, telemetry::FlushCause cause, sim::Time now) {
+    if (telem_ != nullptr) record_push(s, cause, now);
+    push_(std::move(s));
+  }
+
+  /// Records a packet merged into an existing segment.
+  void note_merge(const net::Packet& p, sim::Time now) {
+    if (telem_ == nullptr) return;
+    telem_->merges->inc();
+    if (telem_->tracer != nullptr) {
+      telem_->tracer->record(now, telemetry::EventType::kGroMerge,
+                             telem_node_, -1, p.flow.hash(), p.payload);
+    }
+  }
+
+  /// Records a hold decision (Presto GRO boundary wait).
+  void note_hold() {
+    if (telem_ != nullptr) telem_->holds->inc();
+  }
 
  private:
+  void record_push(const Segment& s, telemetry::FlushCause cause,
+                   sim::Time now) {
+    telem_->pushed->inc();
+    telem_->segment_bytes->add(static_cast<double>(s.bytes()));
+    switch (cause) {
+      case telemetry::FlushCause::kSameFlowcell:
+        telem_->flush_same_flowcell->inc();
+        break;
+      case telemetry::FlushCause::kInOrder:
+        telem_->flush_in_order->inc();
+        break;
+      case telemetry::FlushCause::kOverlap:
+        telem_->flush_overlap->inc();
+        break;
+      case telemetry::FlushCause::kTimeout:
+        telem_->flush_timeout->inc();
+        break;
+      case telemetry::FlushCause::kStale:
+        telem_->flush_stale->inc();
+        break;
+      case telemetry::FlushCause::kOfficial:
+        break;
+    }
+    if (telem_->tracer != nullptr) {
+      telem_->tracer->record(now, telemetry::EventType::kGroFlush,
+                             telem_node_, -1,
+                             static_cast<std::uint64_t>(cause), s.bytes());
+    }
+  }
+
   PushFn push_;
+  const telemetry::GroProbes* telem_ = nullptr;
+  std::uint32_t telem_node_ = 0;
 };
 
 }  // namespace presto::offload

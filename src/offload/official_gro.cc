@@ -18,16 +18,19 @@ void OfficialGro::on_packet(const net::Packet& p, sim::Time now) {
     seg.ts_sent = p.ts_sent;
     seg.last_merge = now;
     if (p.flowcell_id > seg.flowcell) seg.flowcell = p.flowcell_id;
+    note_merge(p, now);
     return;
   }
   // Cannot merge (reordered packet or full segment): push the old segment up
   // and start a new one from this packet.
-  push_up(seg);
+  push_up(seg, telemetry::FlushCause::kOfficial, now);
   it->second = segment_from(p, now);
 }
 
-void OfficialGro::flush(sim::Time) {
-  for (auto& [flow, seg] : gro_list_) push_up(seg);
+void OfficialGro::flush(sim::Time now) {
+  for (auto& [flow, seg] : gro_list_) {
+    push_up(seg, telemetry::FlushCause::kOfficial, now);
+  }
   gro_list_.clear();
 }
 

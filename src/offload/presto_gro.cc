@@ -19,6 +19,7 @@ void PrestoGro::on_packet(const net::Packet& p, sim::Time now) {
       seg.contains_retx = seg.contains_retx || p.is_retx;
       seg.ts_sent = p.ts_sent;
       seg.last_merge = now;
+      note_merge(p, now);
       return;
     }
   }
@@ -47,7 +48,7 @@ void PrestoGro::flush(sim::Time now) {
         // (Algorithm 2, lines 3-5).
         f.exp_seq = std::max(f.exp_seq, s.end_seq);
         ++push_stats_.same_flowcell;
-        push_up(s);
+        push_up(s, telemetry::FlushCause::kSameFlowcell, now);
       } else if (s.flowcell > f.last_flowcell) {
         if (f.exp_seq == s.start_seq) {
           // Next flowcell continues exactly in order (lines 7-10).
@@ -59,13 +60,13 @@ void PrestoGro::flush(sim::Time now) {
           f.last_flowcell = s.flowcell;
           f.exp_seq = s.end_seq;
           ++push_stats_.in_order;
-          push_up(s);
+          push_up(s, telemetry::FlushCause::kInOrder, now);
         } else if (f.exp_seq > s.start_seq) {
           // Overlap with delivered bytes: a retransmission that begins a new
           // flowcell — push up so TCP reacts without delay (lines 11-13).
           f.last_flowcell = s.flowcell;
           ++push_stats_.overlap;
-          push_up(s);
+          push_up(s, telemetry::FlushCause::kOverlap, now);
         } else if (timed_out(f, s, now)) {
           // Held long enough: assume the boundary gap was loss (lines 14-17).
           f.last_timeout_at = now;
@@ -73,11 +74,12 @@ void PrestoGro::flush(sim::Time now) {
           f.last_flowcell = s.flowcell;
           f.exp_seq = s.end_seq;
           ++push_stats_.timeout;
-          push_up(s);
+          push_up(s, telemetry::FlushCause::kTimeout, now);
         } else {
           // Possible reordering: hold, waiting for the gap to fill.
           if (s.held_since < 0) s.held_since = now;
           ++push_stats_.held;
+          note_hold();
           held.push_back(s);
         }
       } else {
@@ -91,7 +93,7 @@ void PrestoGro::flush(sim::Time now) {
           f.last_timeout_at = 0;
         }
         ++push_stats_.stale;
-        push_up(s);
+        push_up(s, telemetry::FlushCause::kStale, now);
       }
     }
     f.segments = std::move(held);

@@ -39,13 +39,19 @@ class Samples {
                : *std::max_element(values_.begin(), values_.end());
   }
 
-  /// p in [0, 100]; nearest-rank on the sorted data.
+  /// Linear interpolation on the sorted data. Out-of-range p is clamped to
+  /// [0, 100] (NaN behaves like 0), so p=0/p=100 return min/max exactly and
+  /// the upper index can never run past the last sample.
   double percentile(double p) const {
     if (values_.empty()) return 0;
     ensure_sorted();
-    const double rank = p / 100.0 * (static_cast<double>(values_.size()) - 1);
+    const double pc = p >= 0 ? (p <= 100.0 ? p : 100.0) : 0.0;
+    const double rank =
+        pc / 100.0 * (static_cast<double>(values_.size()) - 1);
     const auto lo = static_cast<std::size_t>(std::floor(rank));
-    const auto hi = static_cast<std::size_t>(std::ceil(rank));
+    const auto hi =
+        std::min(static_cast<std::size_t>(std::ceil(rank)),
+                 values_.size() - 1);
     const double frac = rank - static_cast<double>(lo);
     return values_[lo] * (1 - frac) + values_[hi] * frac;
   }

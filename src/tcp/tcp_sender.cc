@@ -91,6 +91,9 @@ void TcpSender::send_range(std::uint64_t start, std::uint64_t end, bool retx) {
     stats_.retransmitted_bytes += end - start;
     retx_pending_ += end - start;
     if (episode_open_) episode_retx_bytes_ += end - start;
+    if (cfg_.telemetry != nullptr) {
+      cfg_.telemetry->retransmitted_bytes->inc(end - start);
+    }
   }
   emit_(std::move(seg));
 }
@@ -115,6 +118,9 @@ void TcpSender::on_ack_packet(const net::Packet& ack) {
     // reordering. Undo the window reduction (Linux-style cwnd undo).
     episode_open_ = false;
     ++stats_.spurious_recoveries;
+    if (cfg_.telemetry != nullptr) {
+      cfg_.telemetry->spurious_recoveries->inc();
+    }
     cc_->undo(undo_cwnd_, undo_ssthresh_);
   }
   if (ack.ack > snd_una_) {
@@ -141,6 +147,9 @@ void TcpSender::on_ack_packet(const net::Packet& ack) {
           // retransmission: the dup-ACK burst was reordering, not loss.
           episode_open_ = false;
           ++stats_.spurious_recoveries;
+          if (cfg_.telemetry != nullptr) {
+            cfg_.telemetry->spurious_recoveries->inc();
+          }
           cc_->undo(undo_cwnd_, undo_ssthresh_);
         }
       } else {
@@ -161,6 +170,7 @@ void TcpSender::on_ack_packet(const net::Packet& ack) {
   } else if (snd_nxt_ > snd_una_) {
     ++dupacks_;
     ++stats_.dup_acks;
+    if (cfg_.telemetry != nullptr) cfg_.telemetry->dup_acks->inc();
     const bool sack_loss =
         sacked_.bytes_in(snd_una_, snd_nxt_) >=
         static_cast<std::uint64_t>(cfg_.sack_loss_mss) * cfg_.cc_cfg.mss;
@@ -176,6 +186,15 @@ void TcpSender::enter_recovery() {
   recover_ = snd_nxt_;
   retx_next_ = snd_una_;
   ++stats_.fast_retransmits;
+  if (cfg_.telemetry != nullptr) {
+    cfg_.telemetry->fast_retransmits->inc();
+    if (cfg_.telemetry->tracer != nullptr) {
+      cfg_.telemetry->tracer->record(
+          sim_.now(), telemetry::EventType::kRetransmit, flow_.src_host, -1,
+          static_cast<std::uint64_t>(telemetry::RetxCause::kFastRetransmit),
+          snd_una_);
+    }
+  }
   // Open an undo episode so DSACKs can prove this reduction spurious.
   undo_cwnd_ = cc_->cwnd_bytes();
   undo_ssthresh_ = cc_->ssthresh_bytes();
@@ -207,6 +226,14 @@ void TcpSender::arm_rto() {
 void TcpSender::on_rto(std::uint64_t generation) {
   if (generation != rto_generation_ || snd_una_ >= snd_nxt_) return;
   ++stats_.timeouts;
+  if (cfg_.telemetry != nullptr) {
+    cfg_.telemetry->rtos->inc();
+    if (cfg_.telemetry->tracer != nullptr) {
+      cfg_.telemetry->tracer->record(
+          sim_.now(), telemetry::EventType::kRetransmit, flow_.src_host, -1,
+          static_cast<std::uint64_t>(telemetry::RetxCause::kRto), snd_una_);
+    }
+  }
   episode_open_ = false;  // no undo across an RTO
   cc_->on_timeout(sim_.now());
   // Go-back-N: discard the scoreboard and resend from the cumulative ACK

@@ -18,6 +18,7 @@
 #include "sim/simulation.h"
 #include "tcp/congestion.h"
 #include "tcp/range_set.h"
+#include "telemetry/probes.h"
 
 namespace presto::tcp {
 
@@ -36,6 +37,8 @@ struct TcpConfig {
   /// for the dup-ACK count — GRO merges many packets into one ACK, so byte
   /// accounting, not ACK counting, detects loss (cf. RFC 6675 / FACK).
   std::uint32_t sack_loss_mss = 3;
+  /// Experiment-wide telemetry probes (null disables; set by the harness).
+  const telemetry::TcpProbes* telemetry = nullptr;
 };
 
 /// Counters exposed for tests and experiment reporting.

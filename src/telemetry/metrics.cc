@@ -1,0 +1,26 @@
+#include "telemetry/metrics.h"
+
+namespace presto::telemetry {
+
+Snapshot Registry::snapshot() const {
+  Snapshot s;
+  for (const auto& [name, c] : counters_) s.counters[name] = c->value();
+  for (const auto& [name, g] : gauges_) s.gauges[name] = g->value();
+  for (const auto& [name, h] : histograms_) {
+    HistogramSnapshot hs;
+    hs.count = h->count();
+    hs.sum = h->sum();
+    hs.min = h->min();
+    hs.max = h->max();
+    // Trim trailing zero buckets so snapshots (and their JSON) stay small.
+    std::size_t last = 0;
+    for (std::size_t i = 0; i < Histogram::kBuckets; ++i) {
+      if (h->buckets()[i] != 0) last = i + 1;
+    }
+    hs.buckets.assign(h->buckets(), h->buckets() + last);
+    s.histograms[name] = std::move(hs);
+  }
+  return s;
+}
+
+}  // namespace presto::telemetry

@@ -1,0 +1,120 @@
+// Per-layer probe bundles and the telemetry Session that owns them.
+//
+// A probe bundle is a struct of instrument pointers, resolved from the
+// Registry once when a Session is created. Components store a
+// `const XxxProbes*` (null => telemetry disabled) and guard updates with a
+// single null check, so the disabled path costs one predictable branch.
+//
+// The Session is owned by the Experiment: one per simulation replica, never
+// shared across sweep threads.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
+
+namespace presto::telemetry {
+
+/// Experiment-level telemetry switches (part of ExperimentConfig).
+struct TelemetryConfig {
+  /// Master switch: collect counters/gauges/histograms.
+  bool metrics = false;
+  /// Also record the typed event trace (heavier; mainly for tests/debug).
+  bool trace = false;
+  std::size_t trace_capacity = 1 << 16;
+};
+
+/// net::TxPort — queue occupancy and drops by cause.
+struct PortProbes {
+  Counter* enqueued = nullptr;
+  Counter* drop_queue_full = nullptr;
+  Counter* drop_link_down = nullptr;
+  Histogram* queue_depth_bytes = nullptr;  ///< sampled after each enqueue
+  Tracer* tracer = nullptr;
+};
+
+/// net::Switch — forwarding-table misses.
+struct SwitchProbes {
+  Counter* drop_no_route = nullptr;
+  Tracer* tracer = nullptr;
+};
+
+/// core::FlowcellEngine — cell creation and label spread.
+struct FlowcellProbes {
+  Counter* cells = nullptr;
+  Counter* segments = nullptr;
+  Histogram* label_index = nullptr;     ///< chosen slot per dispatch
+  Histogram* cells_per_flow = nullptr;  ///< published at snapshot time
+  Tracer* tracer = nullptr;
+};
+
+/// offload GRO engines — merges and flush decisions by cause.
+struct GroProbes {
+  Counter* merges = nullptr;
+  Counter* pushed = nullptr;
+  Histogram* segment_bytes = nullptr;  ///< pushed segment sizes
+  Counter* flush_same_flowcell = nullptr;
+  Counter* flush_in_order = nullptr;
+  Counter* flush_overlap = nullptr;
+  Counter* flush_timeout = nullptr;  ///< boundary-hold timeout fires
+  Counter* flush_stale = nullptr;
+  Counter* holds = nullptr;
+  Tracer* tracer = nullptr;
+};
+
+/// tcp::TcpSender — loss recovery activity.
+struct TcpProbes {
+  Counter* fast_retransmits = nullptr;
+  Counter* rtos = nullptr;
+  Counter* retransmitted_bytes = nullptr;
+  Counter* dup_acks = nullptr;
+  Counter* spurious_recoveries = nullptr;
+  Tracer* tracer = nullptr;
+};
+
+/// controller::Controller — failure reaction and schedule churn.
+struct ControllerProbes {
+  Counter* link_failures = nullptr;
+  Counter* link_restores = nullptr;
+  Counter* ingress_reroutes = nullptr;
+  Counter* reweight_pushes = nullptr;   ///< push_weighted_schedules calls
+  Counter* schedules_set = nullptr;     ///< schedules (re)installed
+  Tracer* tracer = nullptr;
+};
+
+/// Owns the Registry (+ optional Tracer) for one experiment replica and the
+/// pre-resolved probe bundles handed to components. Creating the session
+/// eagerly registers every instrument name, so emitted snapshots always
+/// carry the full cross-layer key set even when a counter stayed at zero.
+class Session {
+ public:
+  explicit Session(const TelemetryConfig& cfg);
+
+  Registry& registry() { return registry_; }
+  /// Null when tracing is disabled.
+  Tracer* tracer() { return tracer_.get(); }
+
+  const PortProbes* port_probes() const { return &port_; }
+  const SwitchProbes* switch_probes() const { return &switch_; }
+  const FlowcellProbes* flowcell_probes() const { return &flowcell_; }
+  const GroProbes* gro_probes() const { return &gro_; }
+  const TcpProbes* tcp_probes() const { return &tcp_; }
+  const ControllerProbes* controller_probes() const { return &controller_; }
+
+  /// Registry snapshot plus trace accounting.
+  Snapshot snapshot() const;
+
+ private:
+  Registry registry_;
+  std::unique_ptr<Tracer> tracer_;
+  PortProbes port_;
+  SwitchProbes switch_;
+  FlowcellProbes flowcell_;
+  GroProbes gro_;
+  TcpProbes tcp_;
+  ControllerProbes controller_;
+};
+
+}  // namespace presto::telemetry

@@ -1,0 +1,65 @@
+#include "telemetry/probes.h"
+
+namespace presto::telemetry {
+
+Session::Session(const TelemetryConfig& cfg) {
+  if (cfg.trace) {
+    tracer_ = std::make_unique<Tracer>(cfg.trace_capacity);
+  }
+  Tracer* tr = tracer_.get();
+
+  port_.enqueued = &registry_.counter("net.port.enqueued_packets");
+  port_.drop_queue_full = &registry_.counter("net.port.dropped.queue_full");
+  port_.drop_link_down = &registry_.counter("net.port.dropped.link_down");
+  port_.queue_depth_bytes = &registry_.histogram("net.port.queue_depth_bytes");
+  port_.tracer = tr;
+
+  switch_.drop_no_route = &registry_.counter("net.switch.dropped.no_route");
+  switch_.tracer = tr;
+
+  flowcell_.cells = &registry_.counter("core.flowcell.cells");
+  flowcell_.segments = &registry_.counter("core.flowcell.segments");
+  flowcell_.label_index = &registry_.histogram("core.flowcell.label_index");
+  flowcell_.cells_per_flow =
+      &registry_.histogram("core.flowcell.cells_per_flow");
+  flowcell_.tracer = tr;
+
+  gro_.merges = &registry_.counter("offload.gro.merges");
+  gro_.pushed = &registry_.counter("offload.gro.pushed");
+  gro_.segment_bytes = &registry_.histogram("offload.gro.segment_bytes");
+  gro_.flush_same_flowcell =
+      &registry_.counter("offload.gro.flush.same_flowcell");
+  gro_.flush_in_order = &registry_.counter("offload.gro.flush.in_order");
+  gro_.flush_overlap = &registry_.counter("offload.gro.flush.overlap");
+  gro_.flush_timeout = &registry_.counter("offload.gro.flush.timeout");
+  gro_.flush_stale = &registry_.counter("offload.gro.flush.stale");
+  gro_.holds = &registry_.counter("offload.gro.holds");
+  gro_.tracer = tr;
+
+  tcp_.fast_retransmits = &registry_.counter("tcp.retx.fast");
+  tcp_.rtos = &registry_.counter("tcp.retx.timeout");
+  tcp_.retransmitted_bytes = &registry_.counter("tcp.retx.bytes");
+  tcp_.dup_acks = &registry_.counter("tcp.dup_acks");
+  tcp_.spurious_recoveries = &registry_.counter("tcp.spurious_recoveries");
+  tcp_.tracer = tr;
+
+  controller_.link_failures = &registry_.counter("controller.link_failures");
+  controller_.link_restores = &registry_.counter("controller.link_restores");
+  controller_.ingress_reroutes =
+      &registry_.counter("controller.ingress_reroutes");
+  controller_.reweight_pushes =
+      &registry_.counter("controller.reweight_pushes");
+  controller_.schedules_set = &registry_.counter("controller.schedules_set");
+  controller_.tracer = tr;
+}
+
+Snapshot Session::snapshot() const {
+  Snapshot s = registry_.snapshot();
+  if (tracer_ != nullptr) {
+    s.trace_events = tracer_->total();
+    s.trace_dropped = tracer_->dropped();
+  }
+  return s;
+}
+
+}  // namespace presto::telemetry

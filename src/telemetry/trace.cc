@@ -1,0 +1,38 @@
+#include "telemetry/trace.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace presto::telemetry {
+
+const char* event_type_name(EventType t) {
+  switch (t) {
+    case EventType::kEnqueue: return "enqueue";
+    case EventType::kDrop: return "drop";
+    case EventType::kFlowcellDispatch: return "flowcell_dispatch";
+    case EventType::kGroMerge: return "gro_merge";
+    case EventType::kGroFlush: return "gro_flush";
+    case EventType::kRetransmit: return "retransmit";
+    case EventType::kControllerReweight: return "controller_reweight";
+  }
+  return "?";
+}
+
+std::string Tracer::serialize() const {
+  std::string out;
+  out.reserve(events_.size() * 48 + 64);
+  char line[160];
+  for (const Event& e : events_) {
+    std::snprintf(line, sizeof(line),
+                  "%" PRId64 " %s node=%" PRIu32 " port=%" PRId32
+                  " a=%" PRIu64 " b=%" PRIu64 "\n",
+                  e.at, event_type_name(e.type), e.node, e.port, e.a, e.b);
+    out += line;
+  }
+  std::snprintf(line, sizeof(line),
+                "total=%" PRIu64 " dropped=%" PRIu64 "\n", total_, dropped_);
+  out += line;
+  return out;
+}
+
+}  // namespace presto::telemetry

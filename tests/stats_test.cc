@@ -26,6 +26,40 @@ TEST(Samples, EmptyIsSafe) {
   EXPECT_TRUE(s.empty());
 }
 
+TEST(Samples, PercentileClampsOutOfRangeP) {
+  Samples s;
+  for (int i = 1; i <= 10; ++i) s.add(i);
+  EXPECT_EQ(s.percentile(-5), s.percentile(0));
+  EXPECT_EQ(s.percentile(-5), 1);
+  EXPECT_EQ(s.percentile(150), s.percentile(100));
+  EXPECT_EQ(s.percentile(150), 10);
+}
+
+TEST(Samples, PercentileNanBehavesLikeZero) {
+  Samples s;
+  s.add(3);
+  s.add(7);
+  EXPECT_EQ(s.percentile(std::nan("")), 3);
+}
+
+TEST(Samples, PercentileSingleSample) {
+  Samples s;
+  s.add(42);
+  EXPECT_EQ(s.percentile(0), 42);
+  EXPECT_EQ(s.percentile(50), 42);
+  EXPECT_EQ(s.percentile(100), 42);
+  EXPECT_EQ(s.percentile(1000), 42);
+}
+
+TEST(Samples, PercentileExactEndpoints) {
+  Samples s;
+  s.add(5);
+  s.add(1);
+  s.add(9);
+  EXPECT_EQ(s.percentile(0), 1);
+  EXPECT_EQ(s.percentile(100), 9);
+}
+
 TEST(Samples, MergeCombines) {
   Samples a, b;
   a.add(1);
