@@ -1,7 +1,6 @@
 #include "controller/controller.h"
 
 #include <algorithm>
-#include <stdexcept>
 
 #include "controller/weights.h"
 
@@ -233,18 +232,27 @@ Controller::FailureTimeline Controller::schedule_link_failure(
                      at + cfg_.controller_react_delay};
   auto& sim = topo_.sim();
   sim.schedule_at(at, [this, leaf, spine, group] {
-    if (!topo_.set_fabric_link_down(leaf, spine, group, true)) {
-      throw std::runtime_error("no such fabric link to fail");
+    // Repeated failure of an already-failed link (flap overlap) and failure
+    // of a link that does not exist are both counted no-ops.
+    if (failed_.count({leaf, spine, group}) != 0 ||
+        topo_.find_fabric_link(leaf, spine, group) == nullptr) {
+      if (telem_ != nullptr) telem_->noop_transitions->inc();
+      return;
     }
+    topo_.set_fabric_link_down(leaf, spine, group, true);
     failed_.insert({leaf, spine, group});
     if (telem_ != nullptr) telem_->link_failures->inc();
     // The adjacent leaf's pre-installed failover group redirects its uplink
     // traffic immediately (hardware fast failover).
   });
   sim.schedule_at(tl.failover, [this, leaf, spine, group] {
+    // A restore may have landed between the failure and this detection
+    // event: rerouting a healthy link would detour traffic until the next
+    // full push, so re-check the failure set first.
+    if (failed_.count({leaf, spine, group}) == 0) return;
     apply_ingress_reroute(leaf, spine, group);
   });
-  sim.schedule_at(tl.weighted, [this] { push_weighted_schedules(); });
+  schedule_weighted_push(tl.weighted);
   return tl;
 }
 
@@ -253,34 +261,85 @@ void Controller::schedule_link_restore(net::SwitchId leaf,
                                         std::uint32_t group, sim::Time at) {
   auto& sim = topo_.sim();
   sim.schedule_at(at, [this, leaf, spine, group] {
+    // Restoring a link that was never failed (or already restored) must not
+    // touch ports or label routes.
+    if (failed_.count({leaf, spine, group}) == 0) {
+      if (telem_ != nullptr) telem_->noop_transitions->inc();
+      return;
+    }
     topo_.set_fabric_link_down(leaf, spine, group, false);
     failed_.erase({leaf, spine, group});
     if (telem_ != nullptr) telem_->link_restores->inc();
-    // Undo any ingress reroute: point the affected tree's labels back at
-    // the original spine on every leaf.
-    for (const Tree& t : trees_) {
-      if (t.spine != spine || t.group != group) continue;
-      std::vector<net::MacAddr> labels;
-      if (cfg_.switch_tunnels) {
-        labels.push_back(net::tunnel_mac(leaf, t.id));
-      } else {
-        for (net::HostId h : topo_.hosts_on(leaf)) {
-          labels.push_back(net::shadow_mac(h, t.id));
-        }
-      }
-      for (net::MacAddr label : labels) {
-        for (net::SwitchId l : topo_.leaves()) {
-          if (l == leaf) continue;
-          const net::PortId up = leaf_uplink(l, spine, group);
-          if (up != net::kInvalidPort) {
-            topo_.get_switch(l).install_l2(label, up);
-          }
-        }
+    // Recompute ingress routes for the affected trees from what is *still*
+    // failed, rather than unconditionally restoring: a concurrent failure
+    // of the same tree at another leaf keeps its backup-spine detour.
+    reapply_tree_routes(spine, group);
+  });
+  schedule_weighted_push(at + cfg_.controller_react_delay);
+}
+
+void Controller::schedule_weighted_push(sim::Time at) {
+  topo_.sim().schedule_at(
+      at, [this] { fire_weighted_push(/*already_delayed=*/false); });
+}
+
+void Controller::fire_weighted_push(bool already_delayed) {
+  if (ctl_fault_ && !already_delayed && ctl_fault_->extra_push_delay > 0) {
+    if (telem_ != nullptr) telem_->pushes_delayed->inc();
+    topo_.sim().schedule(ctl_fault_->extra_push_delay,
+                         [this] { fire_weighted_push(true); });
+    return;
+  }
+  if (ctl_fault_ && ctl_fault_->push_drop_probability > 0 &&
+      ctl_fault_rng_.uniform() < ctl_fault_->push_drop_probability) {
+    // The push is lost: vSwitches keep spraying on stale schedules.
+    if (telem_ != nullptr) telem_->pushes_dropped->inc();
+    return;
+  }
+  push_weighted_schedules();
+}
+
+std::vector<net::MacAddr> Controller::tree_labels_for_leaf(
+    net::SwitchId leaf, const Tree& t) const {
+  std::vector<net::MacAddr> labels;
+  if (cfg_.switch_tunnels) {
+    labels.push_back(net::tunnel_mac(leaf, t.id));
+  } else {
+    for (net::HostId h : topo_.hosts_on(leaf)) {
+      labels.push_back(net::shadow_mac(h, t.id));
+    }
+  }
+  return labels;
+}
+
+void Controller::point_label_at_spine(net::MacAddr label,
+                                      net::SwitchId dst_leaf,
+                                      net::SwitchId via_spine,
+                                      std::uint32_t group) {
+  for (net::SwitchId l : topo_.leaves()) {
+    if (l == dst_leaf) continue;
+    net::PortId up = leaf_uplink(l, via_spine, group);
+    if (up == net::kInvalidPort) up = leaf_uplink(l, via_spine, 0);
+    if (up != net::kInvalidPort) {
+      topo_.get_switch(l).install_l2(label, up);
+    }
+  }
+}
+
+void Controller::reapply_tree_routes(net::SwitchId spine,
+                                     std::uint32_t group) {
+  for (const Tree& t : trees_) {
+    if (t.spine != spine || t.group != group) continue;
+    for (net::SwitchId dst_leaf : topo_.leaves()) {
+      const bool still_failed =
+          failed_.count({dst_leaf, t.spine, t.group}) != 0;
+      const net::SwitchId via =
+          still_failed ? backup_spine(t.spine) : t.spine;
+      for (net::MacAddr label : tree_labels_for_leaf(dst_leaf, t)) {
+        point_label_at_spine(label, dst_leaf, via, t.group);
       }
     }
-  });
-  sim.schedule_at(at + cfg_.controller_react_delay,
-                  [this] { push_weighted_schedules(); });
+  }
 }
 
 void Controller::set_pair_weights(net::HostId src, net::HostId dst,
@@ -307,23 +366,8 @@ void Controller::apply_ingress_reroute(net::SwitchId dead_leaf,
   const net::SwitchId alt = backup_spine(dead_spine);
   for (const Tree& t : trees_) {
     if (t.spine != dead_spine || t.group != dead_group) continue;
-    std::vector<net::MacAddr> labels;
-    if (cfg_.switch_tunnels) {
-      labels.push_back(net::tunnel_mac(dead_leaf, t.id));
-    } else {
-      for (net::HostId h : topo_.hosts_on(dead_leaf)) {
-        labels.push_back(net::shadow_mac(h, t.id));
-      }
-    }
-    for (net::MacAddr label : labels) {
-      for (net::SwitchId leaf : topo_.leaves()) {
-        if (leaf == dead_leaf) continue;
-        net::PortId up = leaf_uplink(leaf, alt, t.group);
-        if (up == net::kInvalidPort) up = leaf_uplink(leaf, alt, 0);
-        if (up != net::kInvalidPort) {
-          topo_.get_switch(leaf).install_l2(label, up);
-        }
-      }
+    for (net::MacAddr label : tree_labels_for_leaf(dead_leaf, t)) {
+      point_label_at_spine(label, dead_leaf, alt, t.group);
     }
   }
 }

@@ -17,12 +17,14 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <set>
 #include <unordered_map>
 #include <vector>
 
 #include "core/label_map.h"
 #include "net/topology.h"
+#include "sim/rng.h"
 #include "sim/simulation.h"
 #include "telemetry/probes.h"
 
@@ -65,6 +67,11 @@ class Controller {
   /// Schedules a fabric-link failure with the staged reaction described
   /// above. Returns the absolute times {failure, failover done, weighted
   /// schedules pushed} for experiment windowing.
+  ///
+  /// Robust against flaps: failing an already-failed (or nonexistent) link
+  /// is a counted no-op at fire time, and the staged reactions re-check
+  /// `failed_` before acting, so a restore landing between the stages
+  /// cancels them instead of rerouting a healthy link.
   struct FailureTimeline {
     sim::Time failed;
     sim::Time failover;
@@ -74,11 +81,30 @@ class Controller {
                                         net::SwitchId spine,
                                         std::uint32_t group, sim::Time at);
 
-  /// Restores a previously failed link at `at`: ports come back up, the
-  /// original label rules are reinstalled at every ingress leaf, and full
-  /// schedules are pushed back to the vSwitches after the controller delay.
+  /// Restores a previously failed link at `at`: ports come back up, ingress
+  /// label routes for the affected trees are recomputed from the remaining
+  /// `failed_` set (a concurrent failure elsewhere on the same tree keeps
+  /// its detour), and schedules are pushed back after the controller delay.
+  /// Restoring a link that is not failed is a counted no-op.
   void schedule_link_restore(net::SwitchId leaf, net::SwitchId spine,
                              std::uint32_t group, sim::Time at);
+
+  /// Control-plane fault model: every future weighted-schedule push is
+  /// delayed by `extra_push_delay` and independently dropped with
+  /// `push_drop_probability` (stale schedules persist at the vSwitches).
+  struct ControlFault {
+    sim::Time extra_push_delay = 0;
+    double push_drop_probability = 0;
+    std::uint64_t seed = 1;  ///< dedicated RNG stream for drop rolls
+  };
+  void set_control_fault(const ControlFault& fault) {
+    ctl_fault_ = fault;
+    ctl_fault_rng_ = sim::Rng(fault.seed);
+  }
+  void clear_control_fault() { ctl_fault_.reset(); }
+
+  /// Number of currently failed fabric links (diagnostics).
+  std::size_t failed_link_count() const { return failed_.size(); }
 
   /// Installs an explicitly weighted schedule for (src -> dst): one weight
   /// per spanning tree, realized by label duplication + interleaving
@@ -106,8 +132,28 @@ class Controller {
   /// Reroutes every non-adjacent leaf's labels around a dead link.
   void apply_ingress_reroute(net::SwitchId dead_leaf, net::SwitchId dead_spine,
                              std::uint32_t dead_group);
+  /// Recomputes ingress label routes for every tree on (spine, group) from
+  /// the current `failed_` set: destinations behind a still-failed downlink
+  /// keep their backup-spine detour, everything else returns to the
+  /// original spine.
+  void reapply_tree_routes(net::SwitchId spine, std::uint32_t group);
+  /// Points `label` (a destination on `dst_leaf`) at `via_spine` on every
+  /// other ingress leaf.
+  void point_label_at_spine(net::MacAddr label, net::SwitchId dst_leaf,
+                            net::SwitchId via_spine, std::uint32_t group);
+  /// Labels addressing destinations on `leaf` over tree `t`.
+  std::vector<net::MacAddr> tree_labels_for_leaf(net::SwitchId leaf,
+                                                 const Tree& t) const;
   /// Pushes pruned (weighted) schedules reflecting all known failures.
   void push_weighted_schedules();
+  /// Schedules a weighted push at `at`, subject to any control-plane fault.
+  /// The fault is consulted when the push comes due (not when the triggering
+  /// transition was scheduled), so faults injected while a reaction is
+  /// pending still delay or drop it.
+  void schedule_weighted_push(sim::Time at);
+  /// Fires a due push: applies the control fault's extra delay (once), rolls
+  /// the drop probability, then pushes.
+  void fire_weighted_push(bool already_delayed);
 
   /// Label carrying traffic for `dst` over tree `t` under the current mode.
   net::MacAddr label_for(net::HostId dst, const Tree& t) const;
@@ -124,6 +170,8 @@ class Controller {
   std::unordered_map<net::HostId, core::LabelMap> maps_;
   /// Failed (leaf, spine, group) triples.
   std::set<std::tuple<net::SwitchId, net::SwitchId, std::uint32_t>> failed_;
+  std::optional<ControlFault> ctl_fault_;
+  sim::Rng ctl_fault_rng_;
   const telemetry::ControllerProbes* telem_ = nullptr;
 };
 

@@ -1,0 +1,208 @@
+#include "fault/fault_plan.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+
+namespace presto::fault {
+namespace {
+
+[[noreturn]] void fail(const std::string& stmt, const std::string& why) {
+  throw std::invalid_argument("fault plan: " + why + " in statement '" + stmt +
+                              "'");
+}
+
+std::vector<std::string> split(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  std::string tok;
+  std::istringstream in(s);
+  while (std::getline(in, tok, sep)) out.push_back(tok);
+  return out;
+}
+
+std::string trim(const std::string& s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+double parse_number(const std::string& stmt, const std::string& text,
+                    std::size_t* consumed) {
+  try {
+    return std::stod(text, consumed);
+  } catch (const std::exception&) {
+    fail(stmt, "malformed number '" + text + "'");
+  }
+}
+
+sim::Time parse_time(const std::string& stmt, const std::string& text) {
+  std::size_t used = 0;
+  const double value = parse_number(stmt, text, &used);
+  const std::string unit = text.substr(used);
+  double scale = 0;
+  if (unit == "ns") {
+    scale = 1;
+  } else if (unit == "us") {
+    scale = sim::kMicrosecond;
+  } else if (unit == "ms") {
+    scale = sim::kMillisecond;
+  } else if (unit == "s") {
+    scale = sim::kSecond;
+  } else {
+    fail(stmt, "time '" + text + "' needs a ns/us/ms/s suffix");
+  }
+  if (value < 0) fail(stmt, "negative time '" + text + "'");
+  return static_cast<sim::Time>(value * scale);
+}
+
+double parse_prob(const std::string& stmt, const std::string& text) {
+  std::size_t used = 0;
+  const double v = parse_number(stmt, text, &used);
+  if (used != text.size() || v < 0 || v > 1) {
+    fail(stmt, "probability '" + text + "' not in [0, 1]");
+  }
+  return v;
+}
+
+std::uint32_t parse_u32(const std::string& stmt, const std::string& text) {
+  std::size_t used = 0;
+  const double v = parse_number(stmt, text, &used);
+  if (used != text.size() || v < 0 || v != static_cast<std::uint32_t>(v)) {
+    fail(stmt, "expected a non-negative integer, got '" + text + "'");
+  }
+  return static_cast<std::uint32_t>(v);
+}
+
+FaultKind parse_kind(const std::string& stmt, const std::string& name) {
+  if (name == "down") return FaultKind::kLinkDown;
+  if (name == "up") return FaultKind::kLinkUp;
+  if (name == "flap") return FaultKind::kLinkFlap;
+  if (name == "degrade") return FaultKind::kLinkDegrade;
+  if (name == "heal") return FaultKind::kLinkHeal;
+  if (name == "switch_down") return FaultKind::kSwitchDown;
+  if (name == "switch_up") return FaultKind::kSwitchUp;
+  if (name == "ctl_fault") return FaultKind::kCtlFault;
+  if (name == "ctl_clear") return FaultKind::kCtlClear;
+  fail(stmt, "unknown fault kind '" + name + "'");
+}
+
+bool is_link_kind(FaultKind k) {
+  return k == FaultKind::kLinkDown || k == FaultKind::kLinkUp ||
+         k == FaultKind::kLinkFlap || k == FaultKind::kLinkDegrade ||
+         k == FaultKind::kLinkHeal;
+}
+
+FaultEvent parse_stmt(const std::string& stmt) {
+  FaultEvent ev;
+  std::istringstream in(stmt);
+  std::string head;
+  if (!(in >> head)) fail(stmt, "empty statement");
+  const std::size_t at = head.find('@');
+  if (at == std::string::npos) fail(stmt, "missing '@time' in '" + head + "'");
+  ev.kind = parse_kind(stmt, head.substr(0, at));
+  ev.at = parse_time(stmt, head.substr(at + 1));
+
+  bool saw_leaf = false;
+  bool saw_spine = false;
+  bool saw_switch = false;
+  bool saw_period = false;
+  std::string kv;
+  while (in >> kv) {
+    const std::size_t eq = kv.find('=');
+    if (eq == std::string::npos) fail(stmt, "expected key=value, got '" + kv + "'");
+    const std::string key = kv.substr(0, eq);
+    const std::string val = kv.substr(eq + 1);
+    if (key == "leaf") {
+      ev.leaf = parse_u32(stmt, val);
+      saw_leaf = true;
+    } else if (key == "spine") {
+      ev.spine = parse_u32(stmt, val);
+      saw_spine = true;
+    } else if (key == "group") {
+      ev.group = parse_u32(stmt, val);
+    } else if (key == "switch") {
+      ev.sw = parse_u32(stmt, val);
+      saw_switch = true;
+    } else if (key == "count") {
+      ev.count = parse_u32(stmt, val);
+    } else if (key == "period") {
+      ev.period = parse_time(stmt, val);
+      saw_period = true;
+    } else if (key == "duty") {
+      ev.duty = parse_prob(stmt, val);
+    } else if (key == "loss_good") {
+      ev.loss.loss_good = parse_prob(stmt, val);
+    } else if (key == "loss_bad") {
+      ev.loss.loss_bad = parse_prob(stmt, val);
+    } else if (key == "p_gb") {
+      ev.loss.p_gb = parse_prob(stmt, val);
+    } else if (key == "p_bg") {
+      ev.loss.p_bg = parse_prob(stmt, val);
+    } else if (key == "corrupt") {
+      ev.loss.corrupt = parse_prob(stmt, val);
+    } else if (key == "delay") {
+      ev.ctl_delay = parse_time(stmt, val);
+    } else if (key == "drop") {
+      ev.ctl_drop = parse_prob(stmt, val);
+    } else {
+      fail(stmt, "unknown key '" + key + "'");
+    }
+  }
+
+  if (is_link_kind(ev.kind) && (!saw_leaf || !saw_spine)) {
+    fail(stmt, "link faults need leaf= and spine=");
+  }
+  if ((ev.kind == FaultKind::kSwitchDown || ev.kind == FaultKind::kSwitchUp) &&
+      !saw_switch) {
+    fail(stmt, "switch faults need switch=");
+  }
+  if (ev.kind == FaultKind::kLinkFlap) {
+    if (!saw_period || ev.period <= 0) fail(stmt, "flap needs period=");
+    if (ev.count == 0) fail(stmt, "flap needs count >= 1");
+    if (ev.duty <= 0 || ev.duty >= 1) {
+      fail(stmt, "flap duty must be in (0, 1)");
+    }
+  }
+  return ev;
+}
+
+}  // namespace
+
+const char* fault_kind_name(FaultKind k) {
+  switch (k) {
+    case FaultKind::kLinkDown:
+      return "link_down";
+    case FaultKind::kLinkUp:
+      return "link_up";
+    case FaultKind::kLinkFlap:
+      return "link_flap";
+    case FaultKind::kLinkDegrade:
+      return "link_degrade";
+    case FaultKind::kLinkHeal:
+      return "link_heal";
+    case FaultKind::kSwitchDown:
+      return "switch_down";
+    case FaultKind::kSwitchUp:
+      return "switch_up";
+    case FaultKind::kCtlFault:
+      return "ctl_fault";
+    case FaultKind::kCtlClear:
+      return "ctl_clear";
+  }
+  return "unknown";
+}
+
+FaultPlan FaultPlan::parse(const std::string& text) {
+  FaultPlan plan;
+  for (const std::string& raw : split(text, ';')) {
+    const std::string stmt = trim(raw);
+    if (stmt.empty()) continue;
+    plan.events.push_back(parse_stmt(stmt));
+  }
+  return plan;
+}
+
+}  // namespace presto::fault

@@ -1,0 +1,91 @@
+// Scriptable fault plans (ISSUE 2 tentpole).
+//
+// A FaultPlan is a deterministic schedule of faults driven off the sim
+// clock, expressed either programmatically (push FaultEvents) or as a
+// compact text grammar suitable for experiment configs and CLI flags:
+//
+//   plan  := stmt (';' stmt)*
+//   stmt  := kind '@' time (key '=' value)*
+//   time  := <number><unit>        unit in {ns, us, ms, s}
+//
+// Kinds and their keys:
+//   down@T    leaf= spine= group=          controller-mediated link failure
+//   up@T      leaf= spine= group=          link restore
+//   flap@T    leaf= spine= group= period= count= [duty=]   up/down cycles
+//   degrade@T leaf= spine= group= [loss_good=] [loss_bad=] [p_gb=] [p_bg=]
+//             [corrupt=]                   Gilbert–Elliott burst loss +
+//                                          random corruption, both directions
+//   heal@T    leaf= spine= group=          remove the loss model
+//   switch_down@T switch=                  fail-stop: every port down
+//   switch_up@T   switch=                  restore the switch
+//   ctl_fault@T [delay=] [drop=]           delay / drop schedule pushes
+//   ctl_clear@T                            control plane back to healthy
+//
+// Example:
+//   "flap@100ms leaf=0 spine=0 group=0 period=40ms count=3;
+//    degrade@50ms leaf=1 spine=2 group=0 loss_bad=0.3 p_gb=0.01 p_bg=0.1"
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/port.h"
+#include "net/types.h"
+#include "sim/time.h"
+
+namespace presto::fault {
+
+enum class FaultKind : std::uint8_t {
+  kLinkDown,
+  kLinkUp,
+  kLinkFlap,
+  kLinkDegrade,
+  kLinkHeal,
+  kSwitchDown,
+  kSwitchUp,
+  kCtlFault,
+  kCtlClear,
+};
+
+const char* fault_kind_name(FaultKind k);
+
+/// One scheduled fault. Which fields are meaningful depends on `kind`.
+struct FaultEvent {
+  FaultKind kind = FaultKind::kLinkDown;
+  sim::Time at = 0;
+
+  // Link selector (kLink*).
+  net::SwitchId leaf = 0;
+  net::SwitchId spine = 0;
+  std::uint32_t group = 0;
+
+  // kSwitchDown / kSwitchUp.
+  net::SwitchId sw = 0;
+
+  // kLinkFlap: `count` down/up cycles of length `period`, the link being
+  // down for the first `duty` fraction of each cycle.
+  std::uint32_t count = 1;
+  sim::Time period = 0;
+  double duty = 0.5;
+
+  // kLinkDegrade.
+  net::LossModel loss;
+
+  // kCtlFault.
+  sim::Time ctl_delay = 0;
+  double ctl_drop = 0;
+};
+
+struct FaultPlan {
+  std::vector<FaultEvent> events;
+
+  bool empty() const { return events.empty(); }
+
+  /// Parses the grammar above. Throws std::invalid_argument naming the
+  /// offending statement on any error (unknown kind/key, malformed number,
+  /// missing required key).
+  static FaultPlan parse(const std::string& text);
+};
+
+}  // namespace presto::fault

@@ -60,6 +60,16 @@ Experiment::Experiment(ExperimentConfig cfg)
     ctl_->attach_telemetry(telem_->controller_probes());
   }
   ctl_->install();
+  if (!cfg_.fault_plan.empty() && cfg_.scheme != Scheme::kOptimal) {
+    // Armed before the workload runs: every fault lands on the sim clock at
+    // construction time, off a dedicated RNG stream.
+    const std::uint64_t fs = cfg_.fault_seed != 0
+                                 ? cfg_.fault_seed
+                                 : net::mix64(cfg_.seed ^ 0xFA17'FA17ULL);
+    fault_ = std::make_unique<fault::FaultInjector>(*topo_, *ctl_, fs);
+    if (telem_ != nullptr) fault_->attach_telemetry(telem_->fault_probes());
+    fault_->arm(fault::FaultPlan::parse(cfg_.fault_plan));
+  }
   build_hosts();
 }
 
@@ -121,7 +131,10 @@ std::unique_ptr<lb::SenderLb> Experiment::make_lb(net::HostId h) {
       fc.seed = seed;
       fc.threshold_bytes = cfg_.flowcell_bytes;
       fc.random_selection = cfg_.flowcell_random_selection;
+      fc.path_suspicion = cfg_.edge_suspicion;
+      fc.suspicion_hold = cfg_.suspicion_hold;
       auto engine = std::make_unique<core::FlowcellEngine>(map, fc);
+      engine->set_clock(&sim_);
       if (telem_ != nullptr) {
         engine->attach_telemetry(telem_->flowcell_probes(), &sim_);
         flowcell_engines_.push_back(engine.get());
@@ -134,6 +147,7 @@ std::unique_ptr<lb::SenderLb> Experiment::make_lb(net::HostId h) {
       fc.threshold_bytes = cfg_.flowcell_bytes;
       fc.per_hop_ecmp = true;
       auto engine = std::make_unique<core::FlowcellEngine>(map, fc);
+      engine->set_clock(&sim_);
       if (telem_ != nullptr) {
         engine->attach_telemetry(telem_->flowcell_probes(), &sim_);
         flowcell_engines_.push_back(engine.get());

@@ -10,6 +10,7 @@
 
 #include "controller/controller.h"
 #include "core/flowcell_engine.h"
+#include "fault/fault_injector.h"
 #include "host/host.h"
 #include "lb/mptcp.h"
 #include "net/topology.h"
@@ -66,6 +67,20 @@ struct ExperimentConfig {
   bool force_gro = false;
 
   controller::ControllerConfig controller;
+
+  // Fault injection (ISSUE 2). `fault_plan` uses the FaultPlan grammar
+  // (see src/fault/fault_plan.h); empty disables injection entirely.
+  std::string fault_plan;
+  /// Dedicated fault RNG stream; 0 derives it from `seed` so sweeps vary
+  /// loss patterns with the workload seed unless pinned explicitly.
+  std::uint64_t fault_seed = 0;
+
+  /// Edge graceful degradation: Presto senders track per-label loss/timeout
+  /// suspicion and steer flowcells off suspect labels (beyond-paper; only
+  /// meaningful for kPresto).
+  bool edge_suspicion = false;
+  sim::Time suspicion_hold = 5 * sim::kMillisecond;
+
   /// Telemetry switches. Off by default: the probes cost nothing when no
   /// Session exists (every component holds a null probe pointer).
   telemetry::TelemetryConfig telemetry;
@@ -80,6 +95,9 @@ class Experiment {
   net::Topology& topo() { return *topo_; }
   controller::Controller& ctl() { return *ctl_; }
   const ExperimentConfig& config() const { return cfg_; }
+
+  /// Null unless cfg.fault_plan is non-empty.
+  fault::FaultInjector* fault_injector() { return fault_.get(); }
 
   host::Host& host(net::HostId h) { return *hosts_.at(h); }
   /// All hosts attached to leaves (the datacenter servers).
@@ -151,6 +169,7 @@ class Experiment {
   bool telemetry_published_ = false;
   std::unique_ptr<net::Topology> topo_;
   std::unique_ptr<controller::Controller> ctl_;
+  std::unique_ptr<fault::FaultInjector> fault_;
   std::vector<std::unique_ptr<host::Host>> hosts_;
   std::vector<net::HostId> servers_;
   std::vector<net::HostId> remotes_;

@@ -36,8 +36,23 @@ tcp::TcpSender& Host::create_sender(const net::FlowKey& flow) {
 
 tcp::TcpSender& Host::create_sender(const net::FlowKey& flow,
                                     const tcp::TcpConfig& tcp_cfg) {
+  tcp::TcpConfig cfg = tcp_cfg;
+  // Route loss-recovery signals into the vSwitch LB policy so path-aware
+  // policies (FlowcellEngine suspicion) can react locally; pre-set hooks
+  // (e.g. from MPTCP's per-subflow wiring) are preserved.
+  if (!cfg.on_retransmit) {
+    cfg.on_retransmit = [this](const net::FlowKey& f, std::uint64_t hole,
+                               bool timeout) {
+      if (lb_ != nullptr) lb_->on_loss_signal(f, hole, timeout);
+    };
+  }
+  if (!cfg.on_spurious_recovery) {
+    cfg.on_spurious_recovery = [this](const net::FlowKey& f) {
+      if (lb_ != nullptr) lb_->on_recovery_signal(f);
+    };
+  }
   auto sender = std::make_unique<tcp::TcpSender>(
-      sim_, flow, tcp_cfg,
+      sim_, flow, cfg,
       [this](net::Packet&& seg) { egress_segment(std::move(seg)); });
   auto [it, inserted] = senders_.insert_or_assign(flow, std::move(sender));
   (void)inserted;

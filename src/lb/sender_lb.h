@@ -7,6 +7,9 @@
 // applied to each MTU packet after TSO splitting.
 #pragma once
 
+#include <cstdint>
+
+#include "net/flow_key.h"
 #include "net/packet.h"
 
 namespace presto::lb {
@@ -22,6 +25,21 @@ class SenderLb {
   /// True if the policy must run per MTU packet after TSO (e.g. RPS/DRB
   /// style per-packet spraying) rather than per TSO segment.
   virtual bool per_packet() const { return false; }
+
+  /// Local loss signal from the host's TCP stack: `flow` entered loss
+  /// recovery (`timeout`=false) or hit an RTO (`timeout`=true), with the
+  /// first missing byte at `hole_seq`. Path-aware policies use it to suspect
+  /// the path that carried the lost range; the default policy ignores it.
+  virtual void on_loss_signal(const net::FlowKey& flow, std::uint64_t hole_seq,
+                              bool timeout) {
+    (void)flow;
+    (void)hole_seq;
+    (void)timeout;
+  }
+
+  /// The previous loss signal for `flow` proved spurious (DSACK undo):
+  /// path-aware policies exonerate the paths they blamed.
+  virtual void on_recovery_signal(const net::FlowKey& flow) { (void)flow; }
 };
 
 }  // namespace presto::lb

@@ -50,7 +50,7 @@ void TxPort::start_transmission() {
     queued_bytes_ -= p.buffer_bytes();
     ++counters_.tx_packets;
     counters_.tx_bytes += p.buffer_bytes();
-    if (!down_ && peer_ != nullptr) {
+    if (!down_ && peer_ != nullptr && !(loss_ && loss_model_eats(p))) {
       // Propagate to the far end.
       sim_.schedule(cfg_.propagation,
                     [this, p = std::move(p)]() mutable {
@@ -63,6 +63,38 @@ void TxPort::start_transmission() {
       busy_ = false;
     }
   });
+}
+
+bool TxPort::loss_model_eats(const Packet& p) {
+  DegradedState& st = *loss_;
+  // Advance the GE chain once per frame, then roll against the state's loss
+  // probability and the independent corruption probability.
+  const double flip = st.rng.uniform();
+  if (st.bad ? flip < st.model.p_bg : flip < st.model.p_gb) st.bad = !st.bad;
+  const double loss_p = st.bad ? st.model.loss_bad : st.model.loss_good;
+  const bool lost = loss_p > 0 && st.rng.uniform() < loss_p;
+  const bool corrupt =
+      !lost && st.model.corrupt > 0 && st.rng.uniform() < st.model.corrupt;
+  if (!lost && !corrupt) return false;
+  ++counters_.dropped_packets;
+  counters_.dropped_bytes += p.buffer_bytes();
+  if (lost) {
+    ++counters_.loss_model_drops;
+  } else {
+    ++counters_.corrupt_drops;
+  }
+  if (telem_ != nullptr) {
+    const auto cause = lost ? telemetry::DropCause::kLossModel
+                            : telemetry::DropCause::kCorrupt;
+    (lost ? telem_->drop_loss_model : telem_->drop_corrupt)->inc();
+    if (telem_->tracer != nullptr) {
+      telem_->tracer->record(sim_.now(), telemetry::EventType::kDrop,
+                             telem_node_, telem_port_,
+                             static_cast<std::uint64_t>(cause),
+                             p.buffer_bytes());
+    }
+  }
+  return true;
 }
 
 }  // namespace presto::net

@@ -8,9 +8,11 @@
 
 #include <cstdint>
 #include <deque>
+#include <optional>
 
 #include "net/packet.h"
 #include "net/sink.h"
+#include "sim/rng.h"
 #include "sim/simulation.h"
 #include "telemetry/probes.h"
 
@@ -33,6 +35,25 @@ struct PortCounters {
   std::uint64_t enqueued_packets = 0;
   std::uint64_t dropped_packets = 0;
   std::uint64_t dropped_bytes = 0;
+  std::uint64_t loss_model_drops = 0;  ///< eaten by a degraded-link model
+  std::uint64_t corrupt_drops = 0;     ///< random corruption (FCS fail)
+};
+
+/// Degraded-link model: Gilbert–Elliott two-state burst loss plus an
+/// independent per-frame corruption probability (frames failing FCS at the
+/// receiver are indistinguishable from loss, so both are modeled as drops at
+/// the wire but counted separately). State advances one step per serialized
+/// frame, so a given seed yields the same drop pattern run to run.
+struct LossModel {
+  double loss_good = 0.0;  ///< drop probability in the Good state
+  double loss_bad = 1.0;   ///< drop probability in the Bad (burst) state
+  double p_gb = 0.0;       ///< per-frame Good -> Bad transition probability
+  double p_bg = 1.0;       ///< per-frame Bad -> Good transition probability
+  double corrupt = 0.0;    ///< independent per-frame corruption probability
+
+  bool active() const {
+    return loss_good > 0 || p_gb > 0 || corrupt > 0;
+  }
 };
 
 /// Unidirectional output port. The peer sink/port are fixed at wiring time.
@@ -58,6 +79,15 @@ class TxPort {
   void set_down(bool down) { down_ = down; }
   bool down() const { return down_; }
 
+  /// Installs a degraded-link model with its own deterministic RNG stream
+  /// (one GE step + optional corruption roll per serialized frame).
+  void set_loss_model(const LossModel& model, std::uint64_t seed) {
+    loss_.emplace(DegradedState{model, sim::Rng(seed), false});
+  }
+  /// Heals the link: removes the loss model entirely.
+  void clear_loss_model() { loss_.reset(); }
+  bool degraded() const { return loss_.has_value(); }
+
   const PortCounters& counters() const { return counters_; }
   const LinkConfig& config() const { return cfg_; }
 
@@ -75,7 +105,15 @@ class TxPort {
   }
 
  private:
+  struct DegradedState {
+    LossModel model;
+    sim::Rng rng;
+    bool bad = false;  ///< current Gilbert–Elliott state
+  };
+
   void start_transmission();
+  /// Steps the degraded-link model for one frame; true => the wire ate it.
+  bool loss_model_eats(const Packet& p);
 
   sim::Simulation& sim_;
   LinkConfig cfg_;
@@ -86,6 +124,7 @@ class TxPort {
   std::uint64_t queued_bytes_ = 0;
   bool busy_ = false;
   bool down_ = false;
+  std::optional<DegradedState> loss_;
   PortCounters counters_;
 
   const telemetry::PortProbes* telem_ = nullptr;

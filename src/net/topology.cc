@@ -49,14 +49,30 @@ std::vector<HostId> Topology::hosts_on(SwitchId edge) const {
 
 bool Topology::set_fabric_link_down(SwitchId leaf, SwitchId spine,
                                     std::uint32_t group, bool down) {
+  const FabricLink* fl = find_fabric_link(leaf, spine, group);
+  if (fl == nullptr) return false;
+  get_switch(fl->leaf).port(fl->leaf_port).set_down(down);
+  get_switch(fl->spine).port(fl->spine_port).set_down(down);
+  return true;
+}
+
+const FabricLink* Topology::find_fabric_link(SwitchId leaf, SwitchId spine,
+                                             std::uint32_t group) const {
   for (const FabricLink& fl : fabric_links_) {
-    if (fl.leaf == leaf && fl.spine == spine && fl.group == group) {
-      get_switch(fl.leaf).port(fl.leaf_port).set_down(down);
-      get_switch(fl.spine).port(fl.spine_port).set_down(down);
-      return true;
-    }
+    if (fl.leaf == leaf && fl.spine == spine && fl.group == group) return &fl;
   }
-  return false;
+  return nullptr;
+}
+
+void Topology::set_switch_down(SwitchId sw, bool down) {
+  Switch& s = get_switch(sw);
+  for (std::size_t p = 0; p < s.port_count(); ++p) {
+    s.port(static_cast<PortId>(p)).set_down(down);
+  }
+  for (const FabricLink& fl : fabric_links_) {
+    if (fl.leaf == sw) get_switch(fl.spine).port(fl.spine_port).set_down(down);
+    if (fl.spine == sw) get_switch(fl.leaf).port(fl.leaf_port).set_down(down);
+  }
 }
 
 std::uint64_t Topology::total_drops() const {

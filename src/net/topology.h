@@ -77,6 +77,16 @@ class Topology {
   bool set_fabric_link_down(SwitchId leaf, SwitchId spine, std::uint32_t group,
                             bool down);
 
+  /// Finds a fabric link's wiring record, or nullptr if none matches.
+  const FabricLink* find_fabric_link(SwitchId leaf, SwitchId spine,
+                                     std::uint32_t group) const;
+
+  /// Fail-stop (or restore) of a whole switch: every one of its output ports
+  /// goes down, along with the far end of every fabric link touching it (a
+  /// dead switch neither sends nor receives). Host-facing links on the peer
+  /// side are left to the no-route/link-down drop path.
+  void set_switch_down(SwitchId sw, bool down);
+
   /// Sum of dropped packets across all switch ports + no-route drops.
   std::uint64_t total_drops() const;
   /// Sum of packets enqueued across all switch ports.

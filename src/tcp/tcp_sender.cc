@@ -122,6 +122,7 @@ void TcpSender::on_ack_packet(const net::Packet& ack) {
       cfg_.telemetry->spurious_recoveries->inc();
     }
     cc_->undo(undo_cwnd_, undo_ssthresh_);
+    if (cfg_.on_spurious_recovery) cfg_.on_spurious_recovery(flow_);
   }
   if (ack.ack > snd_una_) {
     const std::uint64_t delta = ack.ack - snd_una_;
@@ -151,6 +152,7 @@ void TcpSender::on_ack_packet(const net::Packet& ack) {
             cfg_.telemetry->spurious_recoveries->inc();
           }
           cc_->undo(undo_cwnd_, undo_ssthresh_);
+          if (cfg_.on_spurious_recovery) cfg_.on_spurious_recovery(flow_);
         }
       } else {
         // NewReno partial ACK: the newly exposed hole starts at snd_una and
@@ -202,6 +204,7 @@ void TcpSender::enter_recovery() {
   episode_dsack_bytes_ = 0;
   episode_open_ = true;
   cc_->on_loss_event(sim_.now());
+  if (cfg_.on_retransmit) cfg_.on_retransmit(flow_, snd_una_, /*timeout=*/false);
 }
 
 void TcpSender::update_rtt(sim::Time sample) {
@@ -235,6 +238,7 @@ void TcpSender::on_rto(std::uint64_t generation) {
     }
   }
   episode_open_ = false;  // no undo across an RTO
+  if (cfg_.on_retransmit) cfg_.on_retransmit(flow_, snd_una_, /*timeout=*/true);
   cc_->on_timeout(sim_.now());
   // Go-back-N: discard the scoreboard and resend from the cumulative ACK
   // point; bytes the receiver already holds are re-acknowledged instantly.

@@ -39,6 +39,16 @@ struct TcpConfig {
   std::uint32_t sack_loss_mss = 3;
   /// Experiment-wide telemetry probes (null disables; set by the harness).
   const telemetry::TcpProbes* telemetry = nullptr;
+  /// Loss-recovery signal to the host datapath: fires on entering fast
+  /// recovery (`timeout`=false) and on each RTO (`timeout`=true), carrying
+  /// the first missing byte (snd_una). The host forwards it to the vSwitch
+  /// LB policy as a path-suspicion hint.
+  std::function<void(const net::FlowKey&, std::uint64_t hole_seq,
+                     bool timeout)>
+      on_retransmit;
+  /// Fires when a recovery episode is undone as spurious (DSACK evidence);
+  /// lets path-aware policies exonerate the paths they blamed.
+  std::function<void(const net::FlowKey&)> on_spurious_recovery;
 };
 
 /// Counters exposed for tests and experiment reporting.

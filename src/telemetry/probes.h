@@ -31,6 +31,8 @@ struct PortProbes {
   Counter* enqueued = nullptr;
   Counter* drop_queue_full = nullptr;
   Counter* drop_link_down = nullptr;
+  Counter* drop_loss_model = nullptr;  ///< degraded-link burst loss
+  Counter* drop_corrupt = nullptr;     ///< random corruption drops
   Histogram* queue_depth_bytes = nullptr;  ///< sampled after each enqueue
   Tracer* tracer = nullptr;
 };
@@ -41,10 +43,13 @@ struct SwitchProbes {
   Tracer* tracer = nullptr;
 };
 
-/// core::FlowcellEngine — cell creation and label spread.
+/// core::FlowcellEngine — cell creation, label spread, and path suspicion.
 struct FlowcellProbes {
   Counter* cells = nullptr;
   Counter* segments = nullptr;
+  Counter* suspicion_signals = nullptr;  ///< loss/timeout signals received
+  Counter* suspicion_skips = nullptr;    ///< dispatches steered off a label
+  Counter* suspicion_clears = nullptr;   ///< spurious-recovery exonerations
   Histogram* label_index = nullptr;     ///< chosen slot per dispatch
   Histogram* cells_per_flow = nullptr;  ///< published at snapshot time
   Tracer* tracer = nullptr;
@@ -81,6 +86,19 @@ struct ControllerProbes {
   Counter* ingress_reroutes = nullptr;
   Counter* reweight_pushes = nullptr;   ///< push_weighted_schedules calls
   Counter* schedules_set = nullptr;     ///< schedules (re)installed
+  Counter* noop_transitions = nullptr;  ///< redundant fail/restore ignored
+  Counter* pushes_dropped = nullptr;    ///< control-plane fault ate a push
+  Counter* pushes_delayed = nullptr;    ///< control-plane fault delayed one
+  Tracer* tracer = nullptr;
+};
+
+/// fault::FaultInjector — injected fault activity by class.
+struct FaultProbes {
+  Counter* events = nullptr;          ///< every fault event fired
+  Counter* link_events = nullptr;     ///< link down/up/flap transitions
+  Counter* degrade_events = nullptr;  ///< loss-model installs/heals
+  Counter* switch_events = nullptr;   ///< switch fail-stop/restore
+  Counter* control_events = nullptr;  ///< control-plane fault arms/clears
   Tracer* tracer = nullptr;
 };
 
@@ -102,6 +120,7 @@ class Session {
   const GroProbes* gro_probes() const { return &gro_; }
   const TcpProbes* tcp_probes() const { return &tcp_; }
   const ControllerProbes* controller_probes() const { return &controller_; }
+  const FaultProbes* fault_probes() const { return &fault_; }
 
   /// Registry snapshot plus trace accounting.
   Snapshot snapshot() const;
@@ -115,6 +134,7 @@ class Session {
   GroProbes gro_;
   TcpProbes tcp_;
   ControllerProbes controller_;
+  FaultProbes fault_;
 };
 
 }  // namespace presto::telemetry

@@ -11,6 +11,8 @@ Session::Session(const TelemetryConfig& cfg) {
   port_.enqueued = &registry_.counter("net.port.enqueued_packets");
   port_.drop_queue_full = &registry_.counter("net.port.dropped.queue_full");
   port_.drop_link_down = &registry_.counter("net.port.dropped.link_down");
+  port_.drop_loss_model = &registry_.counter("net.port.dropped.loss_model");
+  port_.drop_corrupt = &registry_.counter("net.port.dropped.corrupt");
   port_.queue_depth_bytes = &registry_.histogram("net.port.queue_depth_bytes");
   port_.tracer = tr;
 
@@ -19,6 +21,12 @@ Session::Session(const TelemetryConfig& cfg) {
 
   flowcell_.cells = &registry_.counter("core.flowcell.cells");
   flowcell_.segments = &registry_.counter("core.flowcell.segments");
+  flowcell_.suspicion_signals =
+      &registry_.counter("core.flowcell.suspicion.signals");
+  flowcell_.suspicion_skips =
+      &registry_.counter("core.flowcell.suspicion.skips");
+  flowcell_.suspicion_clears =
+      &registry_.counter("core.flowcell.suspicion.clears");
   flowcell_.label_index = &registry_.histogram("core.flowcell.label_index");
   flowcell_.cells_per_flow =
       &registry_.histogram("core.flowcell.cells_per_flow");
@@ -50,7 +58,18 @@ Session::Session(const TelemetryConfig& cfg) {
   controller_.reweight_pushes =
       &registry_.counter("controller.reweight_pushes");
   controller_.schedules_set = &registry_.counter("controller.schedules_set");
+  controller_.noop_transitions =
+      &registry_.counter("controller.noop_transitions");
+  controller_.pushes_dropped = &registry_.counter("controller.pushes_dropped");
+  controller_.pushes_delayed = &registry_.counter("controller.pushes_delayed");
   controller_.tracer = tr;
+
+  fault_.events = &registry_.counter("fault.events");
+  fault_.link_events = &registry_.counter("fault.link_events");
+  fault_.degrade_events = &registry_.counter("fault.degrade_events");
+  fault_.switch_events = &registry_.counter("fault.switch_events");
+  fault_.control_events = &registry_.counter("fault.control_events");
+  fault_.tracer = tr;
 }
 
 Snapshot Session::snapshot() const {

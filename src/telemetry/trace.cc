@@ -14,6 +14,8 @@ const char* event_type_name(EventType t) {
     case EventType::kGroFlush: return "gro_flush";
     case EventType::kRetransmit: return "retransmit";
     case EventType::kControllerReweight: return "controller_reweight";
+    case EventType::kFaultEvent: return "fault_event";
+    case EventType::kPathSuspicion: return "path_suspicion";
   }
   return "?";
 }

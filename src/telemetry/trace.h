@@ -27,6 +27,8 @@ enum class EventType : std::uint8_t {
   kGroFlush,            ///< offload: segment pushed up (a = FlushCause)
   kRetransmit,          ///< tcp: fast retransmit or RTO (a = RetxCause)
   kControllerReweight,  ///< controller: schedules pruned/reweighted
+  kFaultEvent,          ///< fault: injected fault fired (a = FaultKind)
+  kPathSuspicion,       ///< core: edge down-weighted a suspect label
 };
 
 const char* event_type_name(EventType t);
@@ -36,6 +38,8 @@ enum class DropCause : std::uint64_t {
   kQueueFull = 0,
   kLinkDown = 1,
   kNoRoute = 2,
+  kLossModel = 3,  ///< degraded-link (Gilbert–Elliott) drop
+  kCorrupt = 4,    ///< random frame corruption (FCS fail at the receiver)
 };
 
 /// Flush causes carried in Event::a for kGroFlush (Algorithm 2 branches).

@@ -6,6 +6,7 @@
 #include <set>
 
 #include "net/topology.h"
+#include "telemetry/probes.h"
 
 namespace presto::controller {
 namespace {
@@ -180,6 +181,141 @@ TEST_F(ControllerTest, AdjacentLeafFailoverIsImmediate) {
   topo_->get_switch(leaf0).receive(p, 0);
   sim_.run_until(tl.failed + 5 * sim::kMillisecond);
   EXPECT_EQ(sink.packets.size(), 1u);
+}
+
+TEST_F(ControllerTest, RedundantTransitionsAreCountedNoOps) {
+  telemetry::TelemetryConfig tc;
+  tc.metrics = true;
+  telemetry::Session session(tc);
+  ctl_.attach_telemetry(session.controller_probes());
+
+  const Tree& t = ctl_.trees().front();
+  const net::SwitchId leaf0 = topo_->leaves()[0];
+  // Restore of a never-failed link and a double failure of the same link
+  // must not throw or corrupt the failed set.
+  ctl_.schedule_link_restore(leaf0, t.spine, t.group, sim::kMillisecond);
+  ctl_.schedule_link_failure(leaf0, t.spine, t.group, 2 * sim::kMillisecond);
+  ctl_.schedule_link_failure(leaf0, t.spine, t.group, 3 * sim::kMillisecond);
+  // Failing a link that does not exist is also a counted no-op.
+  ctl_.schedule_link_failure(leaf0, t.spine, 99, 4 * sim::kMillisecond);
+  sim_.run_until(5 * sim::kMillisecond);
+  EXPECT_EQ(ctl_.failed_link_count(), 1u);
+  EXPECT_EQ(session.snapshot().counters.at("controller.noop_transitions"), 3u);
+
+  // A restore after all that brings the set back to empty; a second restore
+  // of the now-healthy link is the fourth no-op.
+  ctl_.schedule_link_restore(leaf0, t.spine, t.group, 6 * sim::kMillisecond);
+  ctl_.schedule_link_restore(leaf0, t.spine, t.group, 7 * sim::kMillisecond);
+  sim_.run_until(8 * sim::kMillisecond);
+  EXPECT_EQ(ctl_.failed_link_count(), 0u);
+  EXPECT_EQ(session.snapshot().counters.at("controller.noop_transitions"), 4u);
+}
+
+TEST_F(ControllerTest, FlapRestoresFullSchedulesAndOriginalRoute) {
+  const Tree& t = ctl_.trees().front();
+  const net::SwitchId leaf0 = topo_->leaves()[0];
+  const net::HostId dst = topo_->hosts_on(leaf0)[0];
+  const net::HostId src = topo_->hosts_on(topo_->leaves()[1])[0];
+
+  // Three quick down/up cycles, each shorter than the reaction delays.
+  for (int i = 0; i < 3; ++i) {
+    const sim::Time base = (1 + 4 * i) * sim::kMillisecond;
+    ctl_.schedule_link_failure(leaf0, t.spine, t.group, base);
+    ctl_.schedule_link_restore(leaf0, t.spine, t.group,
+                               base + 2 * sim::kMillisecond);
+  }
+  // Past the last restore's weighted push: schedules must be whole again.
+  sim_.run_until(sim::kSecond);
+  EXPECT_EQ(ctl_.failed_link_count(), 0u);
+  EXPECT_EQ(ctl_.label_map(src).schedule(dst)->size(), 4u);
+
+  // And the flapped tree's label must route through its original spine
+  // (no stale detour from a cancelled failover stage).
+  DeliverySink sink;
+  net::TxPort dummy_uplink(sim_, net::LinkConfig{});
+  topo_->connect_host(dst, &sink, dummy_uplink);
+  const auto before = topo_->get_switch(t.spine).total_counters();
+  net::Packet p;
+  p.dst_mac = net::shadow_mac(dst, t.id);
+  p.dst_host = dst;
+  p.payload = 100;
+  topo_->get_switch(topo_->leaves()[1]).receive(p, 0);
+  sim_.run();
+  ASSERT_EQ(sink.packets.size(), 1u);
+  const auto after = topo_->get_switch(t.spine).total_counters();
+  EXPECT_GT(after.tx_packets, before.tx_packets);
+}
+
+TEST_F(ControllerTest, RestoreBetweenStagesCancelsIngressReroute) {
+  const Tree& t = ctl_.trees().front();
+  const net::SwitchId leaf0 = topo_->leaves()[0];
+  const net::HostId dst = topo_->hosts_on(leaf0)[0];
+
+  const auto tl = ctl_.schedule_link_failure(leaf0, t.spine, t.group,
+                                             1 * sim::kMillisecond);
+  // Restore lands between the failure and the failover stage: the staged
+  // ingress reroute must not fire against the healthy link.
+  ctl_.schedule_link_restore(leaf0, t.spine, t.group,
+                             tl.failed + sim::kMillisecond);
+  sim_.run_until(tl.failover + sim::kMillisecond);
+
+  DeliverySink sink;
+  net::TxPort dummy_uplink(sim_, net::LinkConfig{});
+  topo_->connect_host(dst, &sink, dummy_uplink);
+  const auto before = topo_->get_switch(t.spine).total_counters();
+  net::Packet p;
+  p.dst_mac = net::shadow_mac(dst, t.id);
+  p.dst_host = dst;
+  p.payload = 100;
+  topo_->get_switch(topo_->leaves()[2]).receive(p, 0);
+  sim_.run();
+  ASSERT_EQ(sink.packets.size(), 1u);
+  // Delivered through the original spine, not the backup detour.
+  const auto after = topo_->get_switch(t.spine).total_counters();
+  EXPECT_GT(after.tx_packets, before.tx_packets);
+}
+
+TEST_F(ControllerTest, RestoreKeepsConcurrentFailureDetour) {
+  const Tree& t = ctl_.trees().front();
+  const net::SwitchId leaf0 = topo_->leaves()[0];
+  const net::SwitchId leaf1 = topo_->leaves()[1];
+
+  // Two links of the same tree fail; only the leaf0 one is later restored.
+  ctl_.schedule_link_failure(leaf0, t.spine, t.group, 1 * sim::kMillisecond);
+  ctl_.schedule_link_failure(leaf1, t.spine, t.group, 1 * sim::kMillisecond);
+  ctl_.schedule_link_restore(leaf0, t.spine, t.group, 400 * sim::kMillisecond);
+  sim_.run_until(900 * sim::kMillisecond);
+  EXPECT_EQ(ctl_.failed_link_count(), 1u);
+
+  // Traffic into leaf0 over the tree goes through the original spine again…
+  DeliverySink sink0;
+  net::TxPort up0(sim_, net::LinkConfig{});
+  const net::HostId dst0 = topo_->hosts_on(leaf0)[0];
+  topo_->connect_host(dst0, &sink0, up0);
+  net::Packet p0;
+  p0.dst_mac = net::shadow_mac(dst0, t.id);
+  p0.dst_host = dst0;
+  p0.payload = 100;
+  const auto spine_before = topo_->get_switch(t.spine).total_counters();
+  topo_->get_switch(topo_->leaves()[2]).receive(p0, 0);
+  sim_.run();
+  ASSERT_EQ(sink0.packets.size(), 1u);
+  EXPECT_GT(topo_->get_switch(t.spine).total_counters().tx_packets,
+            spine_before.tx_packets);
+
+  // …while traffic into the still-failed leaf1 keeps its backup detour and
+  // still delivers (the restore must not blindly re-point the whole tree).
+  DeliverySink sink1;
+  net::TxPort up1(sim_, net::LinkConfig{});
+  const net::HostId dst1 = topo_->hosts_on(leaf1)[0];
+  topo_->connect_host(dst1, &sink1, up1);
+  net::Packet p1;
+  p1.dst_mac = net::shadow_mac(dst1, t.id);
+  p1.dst_host = dst1;
+  p1.payload = 100;
+  topo_->get_switch(topo_->leaves()[2]).receive(p1, 0);
+  sim_.run();
+  EXPECT_EQ(sink1.packets.size(), 1u);
 }
 
 }  // namespace
