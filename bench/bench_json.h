@@ -41,7 +41,14 @@ class JsonReporter {
       }
     }
     for (int i = 1; i < argc; ++i) {
-      if (std::string(argv[i]) == "--json") enabled_ = true;
+      const std::string arg = argv[i];
+      if (arg == "--json") {
+        enabled_ = true;
+      } else if (arg == "--trace-out" && i + 1 < argc) {
+        trace_out_arg_ = argv[++i];
+      } else if (arg.rfind("--trace-out=", 0) == 0) {
+        trace_out_arg_ = arg.substr(std::string("--trace-out=").size());
+      }
     }
     if (enabled_) active_ = this;
   }
@@ -58,6 +65,10 @@ class JsonReporter {
 
   /// The reporter run_seeds() records into, or null.
   static JsonReporter* active() { return active_; }
+
+  /// Base path given via `--trace-out <path>` (empty when absent). The env
+  /// fallback (PRESTO_TRACE_OUT) is resolved in bench_util's trace_out().
+  static const std::string& trace_out_arg() { return trace_out_arg_; }
 
   /// Labels the next recorded point (sticky until the next set_point).
   void set_point(std::string label, Params params = {}) {
@@ -102,6 +113,41 @@ class JsonReporter {
     stats::Samples fct_ms;
     telemetry::Snapshot telemetry;
   };
+
+  static std::uint64_t counter_or(const telemetry::Snapshot& snap,
+                                  const char* name) {
+    const auto it = snap.counters.find(name);
+    return it == snap.counters.end() ? 0 : it->second;
+  }
+
+  /// Per-cause drop + path-suspicion summaries. These live in the telemetry
+  /// counter map too, but surfacing them under "metrics" makes gray-link
+  /// runs distinguishable without digging through the full snapshot.
+  static void write_health(telemetry::JsonWriter& w,
+                           const telemetry::Snapshot& snap) {
+    w.key("drops");
+    w.begin_object();
+    w.key("queue_full");
+    w.value(counter_or(snap, "net.port.dropped.queue_full"));
+    w.key("link_down");
+    w.value(counter_or(snap, "net.port.dropped.link_down"));
+    w.key("loss_model");
+    w.value(counter_or(snap, "net.port.dropped.loss_model"));
+    w.key("corrupt");
+    w.value(counter_or(snap, "net.port.dropped.corrupt"));
+    w.key("no_route");
+    w.value(counter_or(snap, "net.switch.dropped.no_route"));
+    w.end_object();
+    w.key("suspicion");
+    w.begin_object();
+    w.key("signals");
+    w.value(counter_or(snap, "core.flowcell.suspicion.signals"));
+    w.key("skips");
+    w.value(counter_or(snap, "core.flowcell.suspicion.skips"));
+    w.key("clears");
+    w.value(counter_or(snap, "core.flowcell.suspicion.clears"));
+    w.end_object();
+  }
 
   static void write_samples(telemetry::JsonWriter& w,
                             const stats::Samples& s) {
@@ -165,6 +211,7 @@ class JsonReporter {
       write_samples(w, p.rtt_ms);
       w.key("fct_ms");
       write_samples(w, p.fct_ms);
+      write_health(w, p.telemetry);
       w.end_object();
       w.key("telemetry");
       telemetry::write_snapshot(w, p.telemetry);
@@ -199,6 +246,7 @@ class JsonReporter {
   std::vector<Point> points_;
 
   static inline JsonReporter* active_ = nullptr;
+  static inline std::string trace_out_arg_;
 };
 
 }  // namespace presto::bench

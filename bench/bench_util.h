@@ -11,6 +11,7 @@
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <string>
 #include <vector>
 
@@ -81,6 +82,74 @@ inline unsigned thread_count() {
   return n;
 }
 
+/// Flight-recorder output base path: `--trace-out <path>` on the command
+/// line (parsed by JsonReporter) or env PRESTO_TRACE_OUT. Empty / "0"
+/// disables tracing. Non-empty turns on the time-series sampler and span
+/// tracer for every run_seeds() point; files land at
+/// `<base>.trace.json` / `<base>.timeseries.csv` (first point, first seed)
+/// and `<base>[.p<point>].seed<n>.*` for the rest.
+inline const std::string& trace_out() {
+  static const std::string base = [] {
+    std::string p = JsonReporter::trace_out_arg();
+    if (p.empty()) {
+      if (const char* env = std::getenv("PRESTO_TRACE_OUT")) p = env;
+    }
+    if (p == "0") p.clear();
+    return p;
+  }();
+  return base;
+}
+
+/// Span sampling rate used when tracing is on: every Nth flowcell gets a
+/// causal span (env PRESTO_TRACE_SPAN_EVERY, default 64; 0 disables spans
+/// while keeping the time series).
+inline std::uint32_t trace_span_every() {
+  static const auto n = static_cast<std::uint32_t>(
+      detail::env_long("PRESTO_TRACE_SPAN_EVERY", 64, 0, 1L << 30,
+                       "an integer >= 0", "64"));
+  return n;
+}
+
+namespace detail {
+
+inline void write_text_file(const std::string& path, const std::string& body) {
+  const std::filesystem::path parent = std::filesystem::path(path).parent_path();
+  if (!parent.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(parent, ec);
+  }
+  if (std::FILE* f = std::fopen(path.c_str(), "w")) {
+    std::fwrite(body.data(), 1, body.size(), f);
+    std::fclose(f);
+    std::fprintf(stderr, "[bench] wrote %s (%zu bytes)\n", path.c_str(),
+                 body.size());
+  } else {
+    std::fprintf(stderr, "[bench] failed to open %s for writing\n",
+                 path.c_str());
+  }
+}
+
+/// Writes per-seed flight-recorder files for one merged point. `point` is
+/// the 0-based run_seeds() invocation index within this bench process.
+inline void write_trace_files(const std::string& base, int point,
+                              const harness::SweepResult& agg) {
+  for (std::size_t i = 0; i < agg.runs.size(); ++i) {
+    const auto& run = agg.runs[i];
+    if (run.trace_json.empty() && run.timeseries_csv.empty()) continue;
+    std::string stem = base;
+    if (point > 0) stem += ".p" + std::to_string(point);
+    if (point > 0 || i > 0) stem += ".seed" + std::to_string(i);
+    if (!run.trace_json.empty()) {
+      write_text_file(stem + ".trace.json", run.trace_json);
+    }
+    if (!run.timeseries_csv.empty()) {
+      write_text_file(stem + ".timeseries.csv", run.timeseries_csv);
+    }
+  }
+}
+
+}  // namespace detail
+
 inline sim::Time scaled(sim::Time t) {
   return static_cast<sim::Time>(static_cast<double>(t) * time_scale());
 }
@@ -101,6 +170,11 @@ MultiRun run_seeds(harness::ExperimentConfig cfg, PairsFn pairs_of,
     cfg.telemetry.metrics = true;
     json->note_run_config(seed_count(), time_scale());
   }
+  const std::string& tbase = trace_out();
+  if (!tbase.empty()) {
+    cfg.telemetry.timeseries = true;
+    cfg.telemetry.span_sample_every = trace_span_every();
+  }
   opt.warmup = scaled(opt.warmup);
   opt.measure = scaled(opt.measure);
   harness::SweepOptions sweep;
@@ -113,6 +187,10 @@ MultiRun run_seeds(harness::ExperimentConfig cfg, PairsFn pairs_of,
       },
       sweep);
   if (json != nullptr) json->record(cfg, agg);
+  if (!tbase.empty()) {
+    static int point = 0;  // run_seeds() invocation index in this process
+    detail::write_trace_files(tbase, point++, agg);
+  }
   return agg;
 }
 

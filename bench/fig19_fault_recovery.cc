@@ -25,12 +25,19 @@ struct FaultRun {
 };
 
 FaultRun run_flap(bool suspicion, std::uint64_t seed, bool telemetry,
-                  telemetry::Snapshot* snap) {
+                  harness::RunResult* rr) {
   harness::ExperimentConfig cfg;
   cfg.scheme = harness::Scheme::kPresto;
   cfg.seed = seed;
   cfg.edge_suspicion = suspicion;
   cfg.telemetry.metrics = telemetry;
+  // Goodput windows come from the flight recorder's app.delivered_bytes
+  // series (one continuous run) instead of ad-hoc run_until probing.
+  cfg.telemetry.timeseries = true;
+  cfg.telemetry.sample_interval = scaled(500 * sim::kMicrosecond);
+  if (!trace_out().empty()) {
+    cfg.telemetry.span_sample_every = trace_span_every();
+  }
   // "Hardware failover latency ranges from several to tens of milliseconds"
   // (§3.3) — use the upper end: the regime where waiting out the reroute
   // delay on every flap transition is expensive and edge reaction pays off.
@@ -54,32 +61,39 @@ FaultRun run_flap(bool suspicion, std::uint64_t seed, bool telemetry,
     els.push_back(&ex.add_elephant(s, d, 0));
   }
 
-  auto window_tput = [&](sim::Time from, sim::Time to) {
-    ex.sim().run_until(from);
-    std::vector<std::uint64_t> base;
-    for (auto* e : els) base.push_back(e->delivered());
-    ex.sim().run_until(to);
-    double sum = 0;
-    for (std::size_t i = 0; i < els.size(); ++i) {
-      sum += 8.0 * static_cast<double>(els[i]->delivered() - base[i]) /
-             sim::to_seconds(to - from) / 1e9;
-    }
-    return sum / static_cast<double>(els.size());
-  };
-
-  FaultRun out;
-  out.pre_gbps = window_tput(warmup, fail_at);
   // Last restore: flap i goes down at fail_at + i*period, up period/2 later.
   const sim::Time flap_end =
       fail_at + static_cast<sim::Time>(flaps - 1) * period + period / 2;
-  out.fault_gbps = window_tput(fail_at, flap_end);
-  // Probe post-fault goodput in fixed windows until it recovers to 90% of
-  // the pre-fault baseline (or the horizon expires).
   const sim::Time probe = scaled(10 * sim::kMillisecond);
   const sim::Time horizon = scaled(400 * sim::kMillisecond);
+
+  // One continuous run; all goodput windows are sliced out of the recorded
+  // app.delivered_bytes curve afterwards.
+  ex.sim().run_until(flap_end + horizon);
+
+  const telemetry::TimeSeries* delivered =
+      ex.sampler()->find("app.delivered_bytes");
+  auto bytes_at = [delivered](sim::Time t) {
+    double v = 0;
+    for (const telemetry::SeriesPoint& p : delivered->points()) {
+      if (p.at > t) break;
+      v = p.value;
+    }
+    return v;
+  };
+  auto window_gbps = [&](sim::Time from, sim::Time to) {
+    return 8.0 * (bytes_at(to) - bytes_at(from)) / sim::to_seconds(to - from) /
+           1e9 / static_cast<double>(els.size());
+  };
+
+  FaultRun out;
+  out.pre_gbps = window_gbps(warmup, fail_at);
+  out.fault_gbps = window_gbps(fail_at, flap_end);
+  // Walk post-fault goodput in fixed windows until it recovers to 90% of
+  // the pre-fault baseline (or the horizon expires).
   sim::Time t = flap_end;
   while (t < flap_end + horizon) {
-    const double g = window_tput(t, t + probe);
+    const double g = window_gbps(t, t + probe);
     t += probe;
     if (g >= 0.9 * out.pre_gbps) {
       out.recovered = true;
@@ -87,7 +101,13 @@ FaultRun run_flap(bool suspicion, std::uint64_t seed, bool telemetry,
     }
   }
   out.recovery_ms = sim::to_millis(t - flap_end);
-  if (snap != nullptr) *snap = ex.telemetry_snapshot();
+  if (rr != nullptr) {
+    rr->telemetry = ex.telemetry_snapshot();
+    if (ex.flight_recorder_enabled() && !trace_out().empty()) {
+      rr->trace_json = ex.export_trace_json();
+      rr->timeseries_csv = ex.export_timeseries_csv();
+    }
+  }
   return out;
 }
 
@@ -105,7 +125,7 @@ int main(int argc, char** argv) {
         seed_count(), thread_count(), [&](int s) {
           harness::RunResult rr;
           const FaultRun r =
-              run_flap(suspicion, 9100 + 7 * s, json.enabled(), &rr.telemetry);
+              run_flap(suspicion, 9100 + 7 * s, json.enabled(), &rr);
           rr.per_flow_gbps = {r.pre_gbps, r.fault_gbps, r.recovery_ms,
                               r.recovered ? 1.0 : 0.0};
           return rr;
@@ -113,6 +133,7 @@ int main(int argc, char** argv) {
     FaultRun avg;
     double recovered = 0;
     harness::SweepResult agg;
+    agg.runs = runs;
     for (const harness::RunResult& r : runs) {
       avg.pre_gbps += r.per_flow_gbps[0] / seed_count();
       avg.fault_gbps += r.per_flow_gbps[1] / seed_count();
@@ -121,9 +142,11 @@ int main(int argc, char** argv) {
       agg.telemetry.merge(r.telemetry);
     }
     const char* name = suspicion ? "edge-suspicion" : "controller-only";
+    if (!trace_out().empty()) {
+      detail::write_trace_files(trace_out() + "." + name, 0, agg);
+    }
     if (json.enabled()) {
       agg.avg_tput_gbps = avg.fault_gbps;
-      agg.runs = runs;
       harness::ExperimentConfig cfg;
       cfg.scheme = harness::Scheme::kPresto;
       cfg.edge_suspicion = suspicion;

@@ -55,6 +55,7 @@ void FlowcellEngine::on_segment(net::Packet& seg) {
   seg.flowcell_id = st.flowcell_id;
   if (cfg_.per_hop_ecmp) {
     seg.ecmp_extra = st.flowcell_id;  // hash on flowcell ID at every hop
+    trace_dispatch(st, seg);          // label = the real dst MAC
     return;                           // dst MAC stays the real address
   }
   if (sched != nullptr) {
@@ -83,6 +84,7 @@ void FlowcellEngine::on_segment(net::Packet& seg) {
       }
     }
     seg.dst_mac = (*sched)[slot];
+    trace_dispatch(st, seg);
     note_dispatched_cell(st, st.flowcell_id, seg.seq, seg.dst_mac);
     if (telem_ != nullptr) {
       telem_->label_index->add(static_cast<double>(slot));
@@ -93,6 +95,24 @@ void FlowcellEngine::on_segment(net::Packet& seg) {
       }
     }
   }
+}
+
+void FlowcellEngine::trace_dispatch(FlowState& st, net::Packet& seg) {
+  // Pure ACKs ride the engine for byte counting but are not part of any
+  // data cell's causal story — never stamp them.
+  if (telem_ == nullptr || telem_->spans == nullptr || seg.payload == 0) {
+    return;
+  }
+  if (st.span_cell != st.flowcell_id) {
+    st.span_cell = st.flowcell_id;
+    st.span = telem_->spans->open(now(), seg.flow, st.flowcell_id,
+                                  seg.dst_mac, seg.seq);
+  }
+  if (st.span == 0) return;
+  telem_->spans->extend(st.span, seg.end_seq());
+  seg.span_id = st.span;
+  telem_->spans->annotate(st.span, telemetry::SpanEventKind::kDispatch, now(),
+                          seg.flow.src_host, -1, seg.seq, seg.payload);
 }
 
 void FlowcellEngine::note_dispatched_cell(FlowState& st, std::uint64_t cell,

@@ -108,6 +108,9 @@ class FlowcellEngine final : public lb::SenderLb {
     std::array<CellRecord, 8> recent_cells{};
     std::uint8_t ring_head = 0;
     std::uint64_t last_noted_cell = ~0ULL;
+    /// Causal span of the current flowcell (0 = this cell not sampled).
+    std::uint32_t span = 0;
+    std::uint64_t span_cell = ~0ULL;
     /// Label blamed by this flow's most recent loss signal (for undo).
     net::MacAddr last_blamed = net::kInvalidMac;
   };
@@ -122,6 +125,9 @@ class FlowcellEngine final : public lb::SenderLb {
 
   sim::Time now() const { return clock_ != nullptr ? clock_->now() : 0; }
   void blame_label(net::MacAddr label, bool timeout);
+  /// Opens/extends the causal span of the segment's flowcell and stamps
+  /// `seg.span_id` (sampled cells only).
+  void trace_dispatch(FlowState& st, net::Packet& seg);
   void note_dispatched_cell(FlowState& st, std::uint64_t cell,
                             std::uint64_t seq, net::MacAddr label);
   /// Label of the newest recorded cell whose range covers `hole_seq` (the

@@ -1,8 +1,12 @@
 #include "harness/experiment.h"
 
+#include <algorithm>
+#include <string>
+
 #include "lb/ecmp_lb.h"
 #include "lb/flowlet_lb.h"
 #include "lb/per_packet_lb.h"
+#include "telemetry/export.h"
 
 namespace presto::harness {
 
@@ -21,7 +25,8 @@ const char* scheme_name(Scheme s) {
 
 Experiment::Experiment(ExperimentConfig cfg)
     : cfg_(std::move(cfg)), rng_(cfg_.seed) {
-  if (cfg_.telemetry.metrics || cfg_.telemetry.trace) {
+  if (cfg_.telemetry.metrics || cfg_.telemetry.trace ||
+      cfg_.telemetry.flight_recorder()) {
     telem_ = std::make_unique<telemetry::Session>(cfg_.telemetry);
     cfg_.mptcp.tcp.telemetry = telem_->tcp_probes();
   }
@@ -71,6 +76,67 @@ Experiment::Experiment(ExperimentConfig cfg)
     fault_->arm(fault::FaultPlan::parse(cfg_.fault_plan));
   }
   build_hosts();
+  if (telem_ != nullptr && telem_->sampler() != nullptr) {
+    start_flight_recorder();
+  }
+}
+
+void Experiment::start_flight_recorder() {
+  telemetry::TimeSeriesSampler& sampler = *telem_->sampler();
+  // Per-port queue depth of every fabric switch (Figs 5/17-19's queue
+  // dynamics). Ports and switches outlive the sampler (both owned here).
+  for (net::SwitchId s = 0; s < topo_->switch_count(); ++s) {
+    net::Switch& sw = topo_->get_switch(s);
+    for (net::PortId p = 0; p < static_cast<net::PortId>(sw.port_count());
+         ++p) {
+      sampler.add_series(
+          "net.sw" + std::to_string(s) + ".port" + std::to_string(p) +
+              ".queue_bytes",
+          [&sw, p] { return static_cast<double>(sw.port(p).queued_bytes()); });
+    }
+  }
+  // In-flight bytes per shadow-MAC label (spanning tree); all ports feed
+  // the session-wide table, so each series is a fabric-wide sum.
+  const std::uint32_t trees =
+      std::min<std::uint32_t>(cfg_.spines, telemetry::LabelFlight::kMaxTrees);
+  telemetry::LabelFlight& flight = telem_->label_flight();
+  for (std::uint32_t t = 0; t < trees; ++t) {
+    sampler.add_series("net.label.t" + std::to_string(t) + ".inflight_bytes",
+                       [&flight, t] {
+                         return static_cast<double>(flight.bytes[t]);
+                       });
+  }
+  // GRO segments pending across all hosts (reorder-buffer pressure).
+  sampler.add_series("host.gro.held_segments", [this] {
+    double held = 0;
+    for (const auto& h : hosts_) {
+      if (h->gro() != nullptr) {
+        held += static_cast<double>(h->gro()->held_segments());
+      }
+    }
+    return held;
+  });
+  // Cumulative bulk-app goodput; differentiating adjacent points yields the
+  // recovery curves of Fig 19 (the callback tolerates apps added later).
+  sampler.add_series("app.delivered_bytes", [this] {
+    double total = 0;
+    for (const auto& app : elephants_) {
+      total += static_cast<double>(app->delivered());
+    }
+    return total;
+  });
+  sampler.start(sim_);
+}
+
+std::string Experiment::export_trace_json() {
+  if (!flight_recorder_enabled()) return {};
+  if (telem_->spans() != nullptr) telem_->spans()->finalize(sim_.now());
+  return telemetry::export_perfetto_json(telem_->sampler(), telem_->spans());
+}
+
+std::string Experiment::export_timeseries_csv() {
+  if (telem_ == nullptr || telem_->sampler() == nullptr) return {};
+  return telemetry::export_timeseries_csv(*telem_->sampler());
 }
 
 void Experiment::build_hosts() {
@@ -80,6 +146,9 @@ void Experiment::build_hosts() {
     if (telem_ != nullptr) {
       hc.gro_telemetry = telem_->gro_probes();
       hc.tcp.telemetry = telem_->tcp_probes();
+      hc.sampler = telem_->sampler();
+      hc.span_tracer = telem_->spans();
+      hc.flow_series = cfg_.telemetry.flow_series_per_host;
     }
     hc.jitter_seed = net::mix64(cfg_.seed ^ (0xBEEF00ULL + h));
     hc.uplink = topo_->host(h).link;
@@ -101,6 +170,14 @@ void Experiment::build_hosts() {
     }
     auto host_ptr = std::make_unique<host::Host>(sim_, h, hc);
     topo_->connect_host(h, host_ptr.get(), host_ptr->uplink());
+    if (telem_ != nullptr && cfg_.telemetry.flight_recorder()) {
+      // Flight-recorder runs also probe the host uplink (the first hop of
+      // every span); kept off otherwise so metrics-only snapshots match
+      // their pre-flight-recorder values. The high bit marks host nodes in
+      // trace events (switch ids stay dense from 0).
+      host_ptr->uplink().attach_telemetry(telem_->port_probes(),
+                                          0x8000'0000u | h, 0);
+    }
     if (server) {
       host_ptr->set_lb(make_lb(h));
       servers_.push_back(h);

@@ -152,6 +152,24 @@ class Experiment {
   telemetry::Tracer* tracer() {
     return telem_ != nullptr ? telem_->tracer() : nullptr;
   }
+  /// Null unless cfg.telemetry.timeseries.
+  telemetry::TimeSeriesSampler* sampler() {
+    return telem_ != nullptr ? telem_->sampler() : nullptr;
+  }
+  /// Null unless cfg.telemetry.span_sample_every > 0.
+  telemetry::SpanTracer* spans() {
+    return telem_ != nullptr ? telem_->spans() : nullptr;
+  }
+  bool flight_recorder_enabled() const {
+    return telem_ != nullptr &&
+           (telem_->sampler() != nullptr || telem_->spans() != nullptr);
+  }
+
+  /// Finalizes open spans and renders the Perfetto trace document.
+  /// Empty when the flight recorder is off. Idempotent.
+  std::string export_trace_json();
+  /// Renders the sampled time series as CSV (empty when sampling is off).
+  std::string export_timeseries_csv();
   /// Publishes end-of-run derived metrics (flowcells per flow) and returns
   /// the merged registry+trace snapshot. Empty when telemetry is disabled.
   /// Safe to call repeatedly; derived metrics are published once.
@@ -160,6 +178,9 @@ class Experiment {
  private:
   void build_hosts();
   std::unique_ptr<lb::SenderLb> make_lb(net::HostId h);
+  /// Registers the default gauge set (switch-port queues, per-label
+  /// in-flight bytes, GRO holds, app goodput) and starts the sampler.
+  void start_flight_recorder();
 
   ExperimentConfig cfg_;
   sim::Simulation sim_;

@@ -102,6 +102,10 @@ RunResult run_pairs(const ExperimentConfig& cfg,
                               static_cast<double>(enq + drop);
   probes.collect(r);
   r.telemetry = ex.telemetry_snapshot();
+  if (ex.flight_recorder_enabled()) {
+    r.trace_json = ex.export_trace_json();
+    r.timeseries_csv = ex.export_timeseries_csv();
+  }
   return r;
 }
 
@@ -180,6 +184,10 @@ RunResult run_shuffle(const ExperimentConfig& cfg,
                               static_cast<double>(enq + drop);
   probes.collect(r);
   r.telemetry = ex.telemetry_snapshot();
+  if (ex.flight_recorder_enabled()) {
+    r.trace_json = ex.export_trace_json();
+    r.timeseries_csv = ex.export_timeseries_csv();
+  }
   return r;
 }
 

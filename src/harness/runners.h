@@ -2,6 +2,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "harness/experiment.h"
@@ -38,6 +39,11 @@ struct RunResult {
   std::uint64_t mice_timeouts = 0;     ///< RTOs on mice connections.
   /// End-of-run telemetry (empty unless cfg.telemetry enabled it).
   telemetry::Snapshot telemetry;
+  /// Flight-recorder exports (empty unless cfg.telemetry enabled the
+  /// sampler/spans). Rendered inside the run so sweep replicas can write
+  /// per-seed files without touching the (destroyed) Experiment.
+  std::string trace_json;
+  std::string timeseries_csv;
 };
 
 /// Runs fixed sender->receiver pairs (stride / random / bijection / custom).

@@ -1,5 +1,6 @@
 #include "host/host.h"
 
+#include <string>
 #include <utility>
 
 namespace presto::host {
@@ -56,6 +57,22 @@ tcp::TcpSender& Host::create_sender(const net::FlowKey& flow,
       [this](net::Packet&& seg) { egress_segment(std::move(seg)); });
   auto [it, inserted] = senders_.insert_or_assign(flow, std::move(sender));
   (void)inserted;
+  if (cfg_.sampler != nullptr && flow_series_made_ < cfg_.flow_series) {
+    // Sample through find_sender, not the TcpSender pointer: a later
+    // insert_or_assign for the same flow must not leave a dangling capture.
+    const std::string base = "host" + std::to_string(id_) + ".flow" +
+                             std::to_string(flow.src_port) + "-" +
+                             std::to_string(flow.dst_port);
+    const bool fresh = cfg_.sampler->add_series(base + ".cwnd_bytes", [this, flow] {
+      tcp::TcpSender* s = find_sender(flow);
+      return s != nullptr ? s->cwnd_bytes() : 0.0;
+    });
+    cfg_.sampler->add_series(base + ".srtt_us", [this, flow] {
+      tcp::TcpSender* s = find_sender(flow);
+      return s != nullptr ? static_cast<double>(s->srtt()) / 1e3 : 0.0;
+    });
+    if (fresh) ++flow_series_made_;
+  }
   return *it->second;
 }
 
@@ -63,6 +80,9 @@ tcp::TcpReceiver& Host::create_receiver(const net::FlowKey& data_flow) {
   auto receiver = std::make_unique<tcp::TcpReceiver>(
       sim_, data_flow,
       [this](net::Packet&& ack) { egress_segment(std::move(ack)); });
+  if (cfg_.span_tracer != nullptr) {
+    receiver->set_span_tracer(cfg_.span_tracer);
+  }
   auto [it, inserted] = receivers_.insert_or_assign(data_flow,
                                                     std::move(receiver));
   (void)inserted;

@@ -79,6 +79,14 @@ struct HostConfig {
   /// GRO-layer telemetry probes (null disables; set by the harness — TCP
   /// probes travel inside `tcp.telemetry`).
   const telemetry::GroProbes* gro_telemetry = nullptr;
+
+  /// Flight recorder (null disables; set by the harness). The sampler gets
+  /// per-flow cwnd/srtt series for the first `flow_series` senders created
+  /// on this host; the span tracer is handed to every receiver so in-order
+  /// delivery closes flowcell spans.
+  telemetry::TimeSeriesSampler* sampler = nullptr;
+  telemetry::SpanTracer* span_tracer = nullptr;
+  std::uint32_t flow_series = 4;
 };
 
 class Host : public net::PacketSink {
@@ -152,6 +160,7 @@ class Host : public net::PacketSink {
   std::vector<net::Packet> ring_;
   bool interrupt_scheduled_ = false;
   bool held_flush_pending_ = false;
+  std::uint32_t flow_series_made_ = 0;
   std::uint64_t ring_drops_ = 0;
   std::uint64_t orphan_segments_ = 0;
 

@@ -75,6 +75,12 @@ struct Packet {
   /// set to the flowcell ID in "Presto + ECMP" mode (§5, Figure 14).
   std::uint64_t ecmp_extra = 0;
 
+  // --- Telemetry -----------------------------------------------------------
+  /// Causal-span id when this packet belongs to a sampled flowcell
+  /// (0 = unsampled). Purely observational: never read by forwarding logic.
+  /// TSO replication copies it onto every derived MTU frame.
+  std::uint32_t span_id = 0;
+
   /// Bytes occupying the wire when this frame is serialized.
   std::uint32_t wire_bytes() const {
     return payload + kHeaderBytes + kFramingBytes;

@@ -20,21 +20,34 @@ void TxPort::enqueue(Packet p) {
                                static_cast<std::uint64_t>(cause),
                                p.buffer_bytes());
       }
+      if (telem_->spans != nullptr && p.span_id != 0) {
+        telem_->spans->annotate(p.span_id, telemetry::SpanEventKind::kDrop,
+                                sim_.now(), telem_node_, telem_port_, p.seq,
+                                p.buffer_bytes());
+      }
     }
     return;
   }
   ++counters_.enqueued_packets;
   queued_bytes_ += p.buffer_bytes();
-  queue_.push_back(std::move(p));
   if (telem_ != nullptr) {
     telem_->enqueued->inc();
     telem_->queue_depth_bytes->add(static_cast<double>(queued_bytes_));
+    if (telem_->label_flight != nullptr) {
+      telem_->label_flight->add(p.dst_mac, p.buffer_bytes());
+    }
     if (telem_->tracer != nullptr) {
       telem_->tracer->record(sim_.now(), telemetry::EventType::kEnqueue,
                              telem_node_, telem_port_, queued_bytes_,
                              p.buffer_bytes());
     }
+    if (telem_->spans != nullptr && p.span_id != 0) {
+      telem_->spans->annotate(p.span_id, telemetry::SpanEventKind::kEnqueue,
+                              sim_.now(), telem_node_, telem_port_, p.seq,
+                              p.buffer_bytes());
+    }
   }
+  queue_.push_back(std::move(p));
   if (!busy_) start_transmission();
 }
 
@@ -50,6 +63,17 @@ void TxPort::start_transmission() {
     queued_bytes_ -= p.buffer_bytes();
     ++counters_.tx_packets;
     counters_.tx_bytes += p.buffer_bytes();
+    if (telem_ != nullptr) {
+      if (telem_->label_flight != nullptr) {
+        telem_->label_flight->add(p.dst_mac,
+                                  -static_cast<std::int64_t>(p.buffer_bytes()));
+      }
+      if (telem_->spans != nullptr && p.span_id != 0) {
+        telem_->spans->annotate(p.span_id, telemetry::SpanEventKind::kDequeue,
+                                sim_.now(), telem_node_, telem_port_, p.seq,
+                                p.buffer_bytes());
+      }
+    }
     if (!down_ && peer_ != nullptr && !(loss_ && loss_model_eats(p))) {
       // Propagate to the far end.
       sim_.schedule(cfg_.propagation,
@@ -92,6 +116,11 @@ bool TxPort::loss_model_eats(const Packet& p) {
                              telem_node_, telem_port_,
                              static_cast<std::uint64_t>(cause),
                              p.buffer_bytes());
+    }
+    if (telem_->spans != nullptr && p.span_id != 0) {
+      telem_->spans->annotate(p.span_id, telemetry::SpanEventKind::kDrop,
+                              sim_.now(), telem_node_, telem_port_, p.seq,
+                              p.buffer_bytes());
     }
   }
   return true;

@@ -16,6 +16,11 @@ void Switch::receive(Packet p, PortId in_port) {
             static_cast<std::uint64_t>(telemetry::DropCause::kNoRoute),
             p.buffer_bytes());
       }
+      if (telem_->spans != nullptr && p.span_id != 0) {
+        telem_->spans->annotate(p.span_id, telemetry::SpanEventKind::kDrop,
+                                sim_.now(), id_, in_port, p.seq,
+                                p.buffer_bytes());
+      }
     }
     return;
   }

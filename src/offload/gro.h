@@ -38,6 +38,10 @@ class GroEngine {
   /// so held segments cannot stall when the NIC goes idle).
   virtual bool has_held_segments() const = 0;
 
+  /// Number of segments currently held/pending in the engine (flight
+  /// recorder gauge; engines without a hold list report 0).
+  virtual std::size_t held_segments() const { return 0; }
+
   /// Attaches telemetry probes (null disables). `node` labels trace events
   /// with the owning host id.
   void attach_telemetry(const telemetry::GroProbes* probes,
@@ -60,6 +64,10 @@ class GroEngine {
     if (telem_->tracer != nullptr) {
       telem_->tracer->record(now, telemetry::EventType::kGroMerge,
                              telem_node_, -1, p.flow.hash(), p.payload);
+    }
+    if (telem_->spans != nullptr && p.span_id != 0) {
+      telem_->spans->annotate(p.span_id, telemetry::SpanEventKind::kGroMerge,
+                              now, telem_node_, -1, p.seq, p.payload);
     }
   }
 
@@ -96,6 +104,10 @@ class GroEngine {
       telem_->tracer->record(now, telemetry::EventType::kGroFlush,
                              telem_node_, -1,
                              static_cast<std::uint64_t>(cause), s.bytes());
+    }
+    if (telem_->spans != nullptr && s.span_id != 0) {
+      telem_->spans->annotate(s.span_id, telemetry::SpanEventKind::kGroFlush,
+                              now, telem_node_, -1, s.start_seq, s.bytes());
     }
   }
 

@@ -18,6 +18,7 @@ void OfficialGro::on_packet(const net::Packet& p, sim::Time now) {
     seg.ts_sent = p.ts_sent;
     seg.last_merge = now;
     if (p.flowcell_id > seg.flowcell) seg.flowcell = p.flowcell_id;
+    if (seg.span_id == 0) seg.span_id = p.span_id;
     note_merge(p, now);
     return;
   }

@@ -23,6 +23,7 @@ class OfficialGro : public GroEngine {
   void on_packet(const net::Packet& p, sim::Time now) override;
   void flush(sim::Time now) override;
   bool has_held_segments() const override { return false; }
+  std::size_t held_segments() const override { return gro_list_.size(); }
 
  private:
   std::uint32_t max_bytes_;

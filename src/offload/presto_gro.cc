@@ -19,6 +19,7 @@ void PrestoGro::on_packet(const net::Packet& p, sim::Time now) {
       seg.contains_retx = seg.contains_retx || p.is_retx;
       seg.ts_sent = p.ts_sent;
       seg.last_merge = now;
+      if (seg.span_id == 0) seg.span_id = p.span_id;
       note_merge(p, now);
       return;
     }

@@ -51,6 +51,7 @@ class PrestoGro : public GroEngine {
   void on_packet(const net::Packet& p, sim::Time now) override;
   void flush(sim::Time now) override;
   bool has_held_segments() const override { return held_count_ > 0; }
+  std::size_t held_segments() const override { return held_count_; }
 
   /// Current adaptive-timeout EWMA for a flow (testing/diagnostics);
   /// returns the initial EWMA if the flow is unknown.

@@ -26,6 +26,10 @@ struct Segment {
   sim::Time last_merge = 0;    ///< When the newest packet was merged.
   sim::Time held_since = -1;   ///< When a boundary gap was detected (-1 = not held).
 
+  /// Causal span of the merged packets' flowcell (0 = unsampled). Adopted
+  /// from the first stamped packet merged in.
+  std::uint32_t span_id = 0;
+
   std::uint32_t bytes() const {
     return static_cast<std::uint32_t>(end_seq - start_seq);
   }
@@ -43,6 +47,7 @@ inline Segment segment_from(const net::Packet& p, sim::Time now) {
   s.ts_sent = p.ts_sent;
   s.first_rx = now;
   s.last_merge = now;
+  s.span_id = p.span_id;
   return s;
 }
 

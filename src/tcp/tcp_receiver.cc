@@ -30,7 +30,12 @@ void TcpReceiver::on_segment(const offload::Segment& s) {
     }
   }
   send_ack(s);
-  if (rcv_nxt_ > old_rcv_nxt && on_delivered_) on_delivered_(rcv_nxt_);
+  if (rcv_nxt_ > old_rcv_nxt) {
+    if (spans_ != nullptr) {
+      spans_->on_delivered(data_flow_, rcv_nxt_, sim_.now());
+    }
+    if (on_delivered_) on_delivered_(rcv_nxt_);
+  }
 }
 
 void TcpReceiver::send_ack(const offload::Segment& trigger) {

@@ -15,6 +15,7 @@
 #include "offload/segment.h"
 #include "sim/simulation.h"
 #include "tcp/range_set.h"
+#include "telemetry/span.h"
 
 namespace presto::tcp {
 
@@ -40,6 +41,10 @@ class TcpReceiver {
   /// Fires whenever the in-order frontier advances.
   void set_on_delivered(DeliveredFn cb) { on_delivered_ = std::move(cb); }
 
+  /// Causal-span closure hook: when set, an advancing in-order frontier
+  /// closes every span of this flow whose byte range is now delivered.
+  void set_span_tracer(telemetry::SpanTracer* spans) { spans_ = spans; }
+
   std::uint64_t delivered() const { return rcv_nxt_; }
   const TcpReceiverStats& stats() const { return stats_; }
 
@@ -50,6 +55,7 @@ class TcpReceiver {
   net::FlowKey data_flow_;
   EmitFn emit_ack_;
   DeliveredFn on_delivered_;
+  telemetry::SpanTracer* spans_ = nullptr;
   std::uint64_t rcv_nxt_ = 0;
   RangeSet ooo_;
   /// Most recently SACKed range (reported first, per RFC 2018).

@@ -9,10 +9,15 @@
 // shared across sweep threads.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <memory>
 
+#include "net/types.h"
+#include "sim/time.h"
 #include "telemetry/metrics.h"
+#include "telemetry/span.h"
+#include "telemetry/timeseries.h"
 #include "telemetry/trace.h"
 
 namespace presto::telemetry {
@@ -24,6 +29,37 @@ struct TelemetryConfig {
   /// Also record the typed event trace (heavier; mainly for tests/debug).
   bool trace = false;
   std::size_t trace_capacity = 1 << 16;
+
+  // -- flight recorder (DESIGN.md §10) --
+  /// Periodically sample registered gauges into bounded time-series rings.
+  bool timeseries = false;
+  sim::Time sample_interval = 100 * sim::kMicrosecond;
+  std::size_t timeseries_capacity = 4096;
+  /// Open a causal span for every Nth dispatched flowcell (0 = off).
+  std::uint32_t span_sample_every = 0;
+  std::size_t span_max_spans = 1024;
+  std::size_t span_max_events = 1 << 16;
+  /// Per-host cap on flows given cwnd/srtt series (first N senders created).
+  std::uint32_t flow_series_per_host = 4;
+
+  /// True when any flight-recorder component is on (drives Session creation
+  /// and trace-file export even with `metrics` off).
+  bool flight_recorder() const { return timeseries || span_sample_every > 0; }
+};
+
+/// Per-spanning-tree in-flight byte table, maintained by every TxPort
+/// (enqueue adds, dequeue/drop subtracts) and read by the sampler as the
+/// "label in-flight" gauge family. Plain array — ports and sampler live on
+/// the same replica thread.
+struct LabelFlight {
+  static constexpr std::size_t kMaxTrees = 16;
+  std::array<std::int64_t, kMaxTrees> bytes{};
+
+  void add(net::MacAddr dst, std::int64_t delta) {
+    if (!net::is_shadow_mac(dst)) return;
+    const std::uint32_t tree = net::mac_tree(dst);
+    if (tree < kMaxTrees) bytes[tree] += delta;
+  }
 };
 
 /// net::TxPort — queue occupancy and drops by cause.
@@ -35,12 +71,15 @@ struct PortProbes {
   Counter* drop_corrupt = nullptr;     ///< random corruption drops
   Histogram* queue_depth_bytes = nullptr;  ///< sampled after each enqueue
   Tracer* tracer = nullptr;
+  SpanTracer* spans = nullptr;
+  LabelFlight* label_flight = nullptr;
 };
 
 /// net::Switch — forwarding-table misses.
 struct SwitchProbes {
   Counter* drop_no_route = nullptr;
   Tracer* tracer = nullptr;
+  SpanTracer* spans = nullptr;
 };
 
 /// core::FlowcellEngine — cell creation, label spread, and path suspicion.
@@ -53,6 +92,7 @@ struct FlowcellProbes {
   Histogram* label_index = nullptr;     ///< chosen slot per dispatch
   Histogram* cells_per_flow = nullptr;  ///< published at snapshot time
   Tracer* tracer = nullptr;
+  SpanTracer* spans = nullptr;
 };
 
 /// offload GRO engines — merges and flush decisions by cause.
@@ -67,6 +107,7 @@ struct GroProbes {
   Counter* flush_stale = nullptr;
   Counter* holds = nullptr;
   Tracer* tracer = nullptr;
+  SpanTracer* spans = nullptr;
 };
 
 /// tcp::TcpSender — loss recovery activity.
@@ -77,6 +118,7 @@ struct TcpProbes {
   Counter* dup_acks = nullptr;
   Counter* spurious_recoveries = nullptr;
   Tracer* tracer = nullptr;
+  SpanTracer* spans = nullptr;
 };
 
 /// controller::Controller — failure reaction and schedule churn.
@@ -113,6 +155,13 @@ class Session {
   Registry& registry() { return registry_; }
   /// Null when tracing is disabled.
   Tracer* tracer() { return tracer_.get(); }
+  /// Null when the time-series flight recorder is disabled.
+  TimeSeriesSampler* sampler() { return sampler_.get(); }
+  const TimeSeriesSampler* sampler() const { return sampler_.get(); }
+  /// Null when span tracing is disabled.
+  SpanTracer* spans() { return spans_.get(); }
+  const SpanTracer* spans() const { return spans_.get(); }
+  LabelFlight& label_flight() { return label_flight_; }
 
   const PortProbes* port_probes() const { return &port_; }
   const SwitchProbes* switch_probes() const { return &switch_; }
@@ -128,6 +177,9 @@ class Session {
  private:
   Registry registry_;
   std::unique_ptr<Tracer> tracer_;
+  std::unique_ptr<TimeSeriesSampler> sampler_;
+  std::unique_ptr<SpanTracer> spans_;
+  LabelFlight label_flight_;
   PortProbes port_;
   SwitchProbes switch_;
   FlowcellProbes flowcell_;

@@ -6,7 +6,23 @@ Session::Session(const TelemetryConfig& cfg) {
   if (cfg.trace) {
     tracer_ = std::make_unique<Tracer>(cfg.trace_capacity);
   }
+  if (cfg.timeseries) {
+    sampler_ = std::make_unique<TimeSeriesSampler>(TimeSeriesConfig{
+        cfg.sample_interval, cfg.timeseries_capacity});
+  }
+  if (cfg.span_sample_every > 0) {
+    spans_ = std::make_unique<SpanTracer>(SpanTracerConfig{
+        cfg.span_sample_every, cfg.span_max_spans, cfg.span_max_events});
+  }
   Tracer* tr = tracer_.get();
+  SpanTracer* sp = spans_.get();
+
+  port_.spans = sp;
+  port_.label_flight = &label_flight_;
+  switch_.spans = sp;
+  flowcell_.spans = sp;
+  gro_.spans = sp;
+  tcp_.spans = sp;
 
   port_.enqueued = &registry_.counter("net.port.enqueued_packets");
   port_.drop_queue_full = &registry_.counter("net.port.dropped.queue_full");

@@ -1,0 +1,97 @@
+#include "telemetry/span.h"
+
+#include <algorithm>
+
+namespace presto::telemetry {
+
+const char* span_event_kind_name(SpanEventKind k) {
+  switch (k) {
+    case SpanEventKind::kDispatch: return "dispatch";
+    case SpanEventKind::kEnqueue: return "enqueue";
+    case SpanEventKind::kDequeue: return "dequeue";
+    case SpanEventKind::kDrop: return "drop";
+    case SpanEventKind::kGroMerge: return "gro_merge";
+    case SpanEventKind::kGroFlush: return "gro_flush";
+    case SpanEventKind::kDelivered: return "delivered";
+  }
+  return "?";
+}
+
+std::uint32_t SpanTracer::open(sim::Time now, const net::FlowKey& flow,
+                               std::uint64_t flowcell, net::MacAddr label,
+                               std::uint64_t start_seq) {
+  const std::uint64_t n = cells_seen_++;
+  if (cfg_.sample_every == 0 || n % cfg_.sample_every != 0) return 0;
+  if (spans_.size() >= cfg_.max_spans) {
+    ++spans_skipped_;
+    return 0;
+  }
+  Span s;
+  s.id = static_cast<std::uint32_t>(spans_.size() + 1);
+  s.flow = flow;
+  s.flowcell = flowcell;
+  s.label = label;
+  s.start_seq = start_seq;
+  s.end_seq = start_seq;
+  s.opened = now;
+  spans_.push_back(s);
+  open_.push_back(s.id);
+  ++spans_opened_;
+  return s.id;
+}
+
+void SpanTracer::extend(std::uint32_t span, std::uint64_t end_seq) {
+  Span* s = get(span);
+  if (s == nullptr || s->closed >= 0) return;
+  if (end_seq > s->end_seq) s->end_seq = end_seq;
+}
+
+void SpanTracer::annotate(std::uint32_t span, SpanEventKind kind, sim::Time at,
+                          std::uint32_t node, std::int32_t port,
+                          std::uint64_t seq, std::uint64_t bytes) {
+  Span* s = get(span);
+  if (s == nullptr) return;
+  // A drop marks the span even after close (a late duplicate dying in a
+  // queue is still worth knowing about), but annotations on closed spans
+  // are otherwise dropped — the cell's story is over.
+  if (kind == SpanEventKind::kDrop) s->dropped = true;
+  if (s->closed >= 0) return;
+  if (events_.size() >= cfg_.max_events) {
+    ++events_dropped_;
+    return;
+  }
+  events_.push_back(SpanEvent{span, at, kind, node, port, seq, bytes});
+}
+
+void SpanTracer::on_delivered(const net::FlowKey& flow, std::uint64_t rcv_nxt,
+                              sim::Time now) {
+  if (open_.empty()) return;
+  std::size_t w = 0;
+  for (std::size_t r = 0; r < open_.size(); ++r) {
+    Span* s = get(open_[r]);
+    if (s != nullptr && s->flow == flow && s->end_seq <= rcv_nxt) {
+      annotate(s->id, SpanEventKind::kDelivered, now, 0, -1, rcv_nxt,
+               s->end_seq - s->start_seq);
+      close(*s, now, /*evicted=*/false);
+      continue;  // removed from open_
+    }
+    open_[w++] = open_[r];
+  }
+  open_.resize(w);
+}
+
+void SpanTracer::finalize(sim::Time now) {
+  for (std::uint32_t id : open_) {
+    Span* s = get(id);
+    if (s != nullptr && s->closed < 0) close(*s, now, /*evicted=*/true);
+  }
+  open_.clear();
+}
+
+void SpanTracer::close(Span& s, sim::Time now, bool evicted) {
+  s.closed = now < s.opened ? s.opened : now;
+  s.evicted = evicted;
+  ++spans_closed_;
+}
+
+}  // namespace presto::telemetry

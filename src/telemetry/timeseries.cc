@@ -1,0 +1,65 @@
+#include "telemetry/timeseries.h"
+
+#include <algorithm>
+
+namespace presto::telemetry {
+
+void TimeSeries::add(sim::Time at, double value) {
+  const std::uint64_t index = offered_++;
+  if (index % stride_ != 0) return;
+  if (points_.size() >= capacity_) {
+    // Decimate: keep even positions. Retained points were offered at
+    // multiples of the old stride starting from index 0, so the survivors
+    // are exactly the multiples of the doubled stride — the acceptance test
+    // `index % stride_ == 0` above stays consistent with history.
+    std::size_t w = 0;
+    for (std::size_t r = 0; r < points_.size(); r += 2) points_[w++] = points_[r];
+    points_.resize(w);
+    stride_ *= 2;
+    ++decimations_;
+    if (index % stride_ != 0) return;
+  }
+  points_.push_back(SeriesPoint{at, value});
+}
+
+bool TimeSeriesSampler::add_series(std::string name, SampleFn fn) {
+  for (const auto& e : entries_) {
+    if (e->ring.name() == name) return false;
+  }
+  entries_.push_back(
+      std::make_unique<Entry>(std::move(name), cfg_.capacity, std::move(fn)));
+  return true;
+}
+
+void TimeSeriesSampler::start(sim::Simulation& sim) {
+  if (running_) return;
+  sim_ = &sim;
+  running_ = true;
+  sim_->schedule(cfg_.interval, [this] { tick(); });
+}
+
+void TimeSeriesSampler::tick() {
+  if (!running_ || sim_ == nullptr) return;
+  ++ticks_;
+  const sim::Time now = sim_->now();
+  for (const auto& e : entries_) {
+    e->ring.add(now, e->fn ? e->fn() : 0.0);
+  }
+  sim_->schedule(cfg_.interval, [this] { tick(); });
+}
+
+std::vector<const TimeSeries*> TimeSeriesSampler::series() const {
+  std::vector<const TimeSeries*> out;
+  out.reserve(entries_.size());
+  for (const auto& e : entries_) out.push_back(&e->ring);
+  return out;
+}
+
+const TimeSeries* TimeSeriesSampler::find(std::string_view name) const {
+  for (const auto& e : entries_) {
+    if (e->ring.name() == name) return &e->ring;
+  }
+  return nullptr;
+}
+
+}  // namespace presto::telemetry

@@ -1,0 +1,111 @@
+// Flight recorder, part 1: periodic gauge sampling into bounded rings.
+//
+// A TimeSeriesSampler is driven by the sim clock: once started it samples
+// every registered source (a `double()` callback) into that source's
+// TimeSeries every `interval`. Each series has a fixed point capacity; when
+// it fills, the series *decimates* deterministically — every other retained
+// point is dropped and the keep-stride doubles — so an arbitrarily long run
+// always fits in the same memory while preserving the curve's shape (the
+// classic flight-recorder trade: resolution halves as the horizon doubles).
+//
+// Determinism: sources are sampled in registration order at exact virtual
+// timestamps, and decimation depends only on the offered-sample count, so
+// two runs of the same seeded experiment produce byte-identical series
+// contents regardless of sweep threading (tests/timeseries_test.cc).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/simulation.h"
+#include "sim/time.h"
+
+namespace presto::telemetry {
+
+/// One retained sample of one series.
+struct SeriesPoint {
+  sim::Time at = 0;
+  double value = 0;
+};
+
+/// Bounded ring of (time, value) points with deterministic decimation.
+class TimeSeries {
+ public:
+  TimeSeries(std::string name, std::size_t capacity)
+      : name_(std::move(name)), capacity_(capacity < 2 ? 2 : capacity) {}
+
+  /// Offers one sample; retained iff the offered-sample index is a multiple
+  /// of the current keep-stride.
+  void add(sim::Time at, double value);
+
+  const std::string& name() const { return name_; }
+  /// Retained points, oldest first.
+  const std::vector<SeriesPoint>& points() const { return points_; }
+  /// Every `stride()`-th offered sample is retained (doubles per decimation).
+  std::uint64_t stride() const { return stride_; }
+  std::uint64_t offered() const { return offered_; }
+  std::uint64_t decimations() const { return decimations_; }
+
+ private:
+  std::string name_;
+  std::size_t capacity_;
+  std::vector<SeriesPoint> points_;
+  std::uint64_t stride_ = 1;
+  std::uint64_t offered_ = 0;
+  std::uint64_t decimations_ = 0;
+};
+
+struct TimeSeriesConfig {
+  sim::Time interval = 100 * sim::kMicrosecond;
+  std::size_t capacity = 4096;  ///< Retained points per series.
+};
+
+/// Clock-driven sampler over named gauge sources. Owned by the telemetry
+/// Session (one per experiment replica; never shared across threads).
+class TimeSeriesSampler {
+ public:
+  using SampleFn = std::function<double()>;
+
+  explicit TimeSeriesSampler(TimeSeriesConfig cfg) : cfg_(cfg) {}
+
+  /// Registers a sampled source. Names must be unique; a duplicate is
+  /// ignored (returns false) so independent layers can race to register.
+  bool add_series(std::string name, SampleFn fn);
+
+  /// Begins periodic sampling on `sim` (the first tick lands one interval
+  /// from now). Safe to call once; sources may still be added later — they
+  /// simply join at the next tick.
+  void start(sim::Simulation& sim);
+  /// Stops scheduling further ticks (already-queued ticks become no-ops).
+  void stop() { running_ = false; }
+
+  sim::Time interval() const { return cfg_.interval; }
+  std::uint64_t ticks() const { return ticks_; }
+  std::size_t series_count() const { return entries_.size(); }
+  /// Series in registration order (the deterministic on-disk order is the
+  /// exporters' problem; they sort by name).
+  std::vector<const TimeSeries*> series() const;
+  const TimeSeries* find(std::string_view name) const;
+
+ private:
+  struct Entry {
+    TimeSeries ring;
+    SampleFn fn;
+    Entry(std::string name, std::size_t capacity, SampleFn f)
+        : ring(std::move(name), capacity), fn(std::move(f)) {}
+  };
+
+  void tick();
+
+  TimeSeriesConfig cfg_;
+  std::vector<std::unique_ptr<Entry>> entries_;
+  sim::Simulation* sim_ = nullptr;
+  bool running_ = false;
+  std::uint64_t ticks_ = 0;
+};
+
+}  // namespace presto::telemetry

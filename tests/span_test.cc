@@ -1,0 +1,166 @@
+// Span tracer tests: sampling cadence, lifecycle under loss/retransmit
+// (spans close or get marked dropped — never leak), bounded-buffer
+// behaviour, and end-to-end closure through a lossy experiment.
+#include <gtest/gtest.h>
+
+#include "harness/experiment.h"
+#include "net/types.h"
+#include "telemetry/span.h"
+#include "workload/apps.h"
+#include "workload/patterns.h"
+
+namespace presto::telemetry {
+namespace {
+
+net::FlowKey flow(std::uint32_t src = 0, std::uint32_t dst = 1) {
+  net::FlowKey f;
+  f.src_host = src;
+  f.dst_host = dst;
+  f.src_port = 1000;
+  f.dst_port = 2000;
+  return f;
+}
+
+TEST(SpanTracer, SamplesEveryNthCell) {
+  SpanTracer t({/*sample_every=*/4, /*max_spans=*/16, /*max_events=*/64});
+  int opened = 0;
+  for (int i = 0; i < 12; ++i) {
+    if (t.open(i, flow(), i, net::shadow_mac(0, 1), i * 100) != 0) ++opened;
+  }
+  EXPECT_EQ(opened, 3);  // cells 0, 4, 8
+  EXPECT_EQ(t.cells_seen(), 12u);
+  EXPECT_EQ(t.spans_opened(), 3u);
+  EXPECT_EQ(t.open_count(), 3u);
+}
+
+TEST(SpanTracer, ZeroSampleRateDisables) {
+  SpanTracer t({/*sample_every=*/0, /*max_spans=*/16, /*max_events=*/64});
+  EXPECT_EQ(t.open(0, flow(), 0, net::shadow_mac(0, 1), 0), 0u);
+  EXPECT_EQ(t.spans_opened(), 0u);
+}
+
+TEST(SpanTracer, DeliveryClosesSpansWhoseRangeIsCovered) {
+  SpanTracer t({1, 16, 64});
+  const std::uint32_t a = t.open(10, flow(), 0, net::shadow_mac(0, 1), 0);
+  t.extend(a, 1000);
+  const std::uint32_t b = t.open(20, flow(), 1, net::shadow_mac(0, 2), 1000);
+  t.extend(b, 2000);
+  ASSERT_NE(a, 0u);
+  ASSERT_NE(b, 0u);
+
+  t.on_delivered(flow(), 1000, 30);  // covers a, not b
+  EXPECT_EQ(t.spans_closed(), 1u);
+  EXPECT_EQ(t.open_count(), 1u);
+  EXPECT_EQ(t.spans()[a - 1].closed, 30);
+  EXPECT_FALSE(t.spans()[a - 1].evicted);
+  EXPECT_LT(t.spans()[b - 1].closed, 0);
+
+  t.on_delivered(flow(), 2000, 40);
+  EXPECT_EQ(t.spans_closed(), 2u);
+  EXPECT_EQ(t.open_count(), 0u);
+}
+
+TEST(SpanTracer, DeliveryOnOtherFlowsDoesNotClose) {
+  SpanTracer t({1, 16, 64});
+  const std::uint32_t a = t.open(10, flow(0, 1), 0, net::shadow_mac(0, 1), 0);
+  t.extend(a, 1000);
+  t.on_delivered(flow(2, 3), 5000, 30);
+  EXPECT_EQ(t.open_count(), 1u);
+}
+
+TEST(SpanTracer, DropMarksSpanEvenAfterClose) {
+  SpanTracer t({1, 16, 64});
+  const std::uint32_t a = t.open(10, flow(), 0, net::shadow_mac(0, 1), 0);
+  t.extend(a, 1000);
+  t.on_delivered(flow(), 1000, 30);
+  ASSERT_GE(t.spans()[a - 1].closed, 0);
+  // A late duplicate of an already-delivered frame dies on the wire: the
+  // annotation is not recorded (span closed) but the drop mark sticks.
+  const std::size_t events_before = t.events().size();
+  t.annotate(a, SpanEventKind::kDrop, 40, 7, 0, 0, 1500);
+  EXPECT_TRUE(t.spans()[a - 1].dropped);
+  EXPECT_EQ(t.events().size(), events_before);
+}
+
+TEST(SpanTracer, FinalizeEvictsLeftoversAndNeverLeaks) {
+  SpanTracer t({1, 16, 64});
+  const std::uint32_t a = t.open(10, flow(), 0, net::shadow_mac(0, 1), 0);
+  t.extend(a, 1000);
+  t.annotate(a, SpanEventKind::kDrop, 15, 3, 1, 0, 1500);
+  t.finalize(50);
+  EXPECT_EQ(t.open_count(), 0u);
+  EXPECT_EQ(t.spans()[a - 1].closed, 50);
+  EXPECT_TRUE(t.spans()[a - 1].evicted);
+  EXPECT_TRUE(t.spans()[a - 1].dropped);
+  t.finalize(60);  // idempotent
+  EXPECT_EQ(t.spans()[a - 1].closed, 50);
+}
+
+TEST(SpanTracer, BoundedSpansAndEvents) {
+  SpanTracer t({1, /*max_spans=*/2, /*max_events=*/3});
+  const std::uint32_t a = t.open(0, flow(), 0, net::shadow_mac(0, 1), 0);
+  const std::uint32_t b = t.open(0, flow(), 1, net::shadow_mac(0, 1), 100);
+  EXPECT_NE(a, 0u);
+  EXPECT_NE(b, 0u);
+  EXPECT_EQ(t.open(0, flow(), 2, net::shadow_mac(0, 1), 200), 0u);
+  EXPECT_EQ(t.spans_skipped(), 1u);
+
+  for (int i = 0; i < 5; ++i) {
+    t.annotate(a, SpanEventKind::kEnqueue, i, 1, 0, i * 1500, 1500);
+  }
+  EXPECT_EQ(t.events().size(), 3u);
+  EXPECT_EQ(t.events_dropped(), 2u);
+}
+
+TEST(SpanTracer, AnnotateUnknownSpanIsANoOp) {
+  SpanTracer t({1, 16, 64});
+  t.annotate(0, SpanEventKind::kEnqueue, 0, 0, 0, 0, 0);
+  t.annotate(99, SpanEventKind::kEnqueue, 0, 0, 0, 0, 0);
+  t.extend(99, 1);
+  EXPECT_TRUE(t.events().empty());
+}
+
+// End-to-end: a lossy Presto run with span tracing. Every span must either
+// close via delivery or be evicted by finalize — and with retransmission in
+// play, dropped spans should still close once TCP repairs the hole.
+TEST(SpanTracer, LossyRunClosesOrEvictsEverySpan) {
+  harness::ExperimentConfig cfg;
+  cfg.scheme = harness::Scheme::kPresto;
+  cfg.spines = 2;
+  cfg.leaves = 2;
+  cfg.hosts_per_leaf = 2;
+  cfg.seed = 11;
+  cfg.telemetry.span_sample_every = 2;
+  // Degrade one fabric link so sampled cells regularly lose frames.
+  cfg.fault_plan =
+      "degrade@0ns leaf=2 spine=0 group=0 loss_bad=0.3 p_gb=0.02 p_bg=0.2";
+
+  harness::Experiment ex(cfg);
+  for (const auto& [s, d] : workload::stride_pairs(4, 2)) {
+    ex.add_elephant(s, d, 0);
+  }
+  ex.sim().run_until(20 * sim::kMillisecond);
+
+  SpanTracer* t = ex.spans();
+  ASSERT_NE(t, nullptr);
+  ASSERT_GT(t->spans_opened(), 10u);
+  t->finalize(ex.sim().now());
+  EXPECT_EQ(t->open_count(), 0u);
+
+  std::size_t dropped = 0;
+  std::size_t delivered_after_drop = 0;
+  for (const Span& s : t->spans()) {
+    ASSERT_GE(s.closed, 0) << "span " << s.id << " leaked";
+    EXPECT_GE(s.closed, s.opened);
+    if (s.dropped) {
+      ++dropped;
+      if (!s.evicted) ++delivered_after_drop;
+    }
+  }
+  EXPECT_GT(dropped, 0u) << "the degraded link should hit sampled cells";
+  EXPECT_GT(delivered_after_drop, 0u)
+      << "retransmission should eventually deliver dropped cells";
+}
+
+}  // namespace
+}  // namespace presto::telemetry

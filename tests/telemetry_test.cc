@@ -126,6 +126,35 @@ TEST(Tracer, CountsBeyondCapacity) {
   EXPECT_EQ(t.dropped(), 3u);
 }
 
+TEST(Tracer, KeepsTheOldestEventsAtTheWrapBoundary) {
+  // The ring keeps the head of the run: events recorded exactly at capacity
+  // and beyond are counted but not stored, and what *is* stored stays in
+  // record order so serialize() is stable regardless of overflow.
+  Tracer t(/*capacity=*/3);
+  for (int i = 0; i < 3; ++i) t.record(i, EventType::kEnqueue, i, -1);
+  t.record(3, EventType::kDrop, 3, -1);  // first overflowing event
+  ASSERT_EQ(t.events().size(), 3u);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(t.events()[i].at, i);
+    EXPECT_EQ(t.events()[i].type, EventType::kEnqueue);
+  }
+  EXPECT_EQ(t.dropped(), 1u);
+  const std::string text = t.serialize();
+  EXPECT_NE(text.find("total=4 dropped=1"), std::string::npos);
+  EXPECT_EQ(text.find("3 drop"), std::string::npos)
+      << "the overflowed kDrop event must not appear as a stored line";
+}
+
+TEST(Tracer, ZeroCapacityDropsEverything) {
+  Tracer t(/*capacity=*/0);
+  t.record(1, EventType::kEnqueue, 0, -1);
+  t.record(2, EventType::kGroFlush, 0, -1);
+  EXPECT_TRUE(t.events().empty());
+  EXPECT_EQ(t.total(), 2u);
+  EXPECT_EQ(t.dropped(), 2u);
+  EXPECT_EQ(t.serialize(), "total=2 dropped=2\n");
+}
+
 // Same seed + config => the whole stack replays identically, so the typed
 // event trace and the metrics snapshot are byte-identical run to run.
 class TraceDeterminismTest

@@ -1,0 +1,141 @@
+// Flight-recorder sampler tests: deterministic decimation, exact-timestamp
+// sampling, and the sweep guarantee — serial and parallel seed replicas
+// produce byte-identical rings (and exports) per seed.
+#include <gtest/gtest.h>
+
+#include "harness/runners.h"
+#include "harness/sweep.h"
+#include "sim/simulation.h"
+#include "telemetry/timeseries.h"
+#include "workload/patterns.h"
+
+namespace presto::telemetry {
+namespace {
+
+TEST(TimeSeries, RetainsEverythingUnderCapacity) {
+  TimeSeries ts("x", 8);
+  for (int i = 0; i < 8; ++i) ts.add(i * 10, i);
+  ASSERT_EQ(ts.points().size(), 8u);
+  EXPECT_EQ(ts.stride(), 1u);
+  EXPECT_EQ(ts.decimations(), 0u);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(ts.points()[i].at, i * 10);
+    EXPECT_EQ(ts.points()[i].value, i);
+  }
+}
+
+TEST(TimeSeries, DecimationKeepsStrideMultiples) {
+  TimeSeries ts("x", 8);
+  const int n = 1000;
+  for (int i = 0; i < n; ++i) ts.add(i, i);
+  EXPECT_EQ(ts.offered(), static_cast<std::uint64_t>(n));
+  EXPECT_LE(ts.points().size(), 8u);
+  EXPECT_GT(ts.decimations(), 0u);
+  // Retained points are exactly the offered-sample indices that are
+  // multiples of the final stride (survivors start at index 0).
+  const std::uint64_t stride = ts.stride();
+  EXPECT_EQ(stride & (stride - 1), 0u) << "stride stays a power of two";
+  std::uint64_t expect = 0;
+  for (const SeriesPoint& p : ts.points()) {
+    EXPECT_EQ(static_cast<std::uint64_t>(p.value), expect);
+    expect += stride;
+  }
+}
+
+TEST(TimeSeries, DecimationIsAFunctionOfOfferedCountOnly) {
+  // Two series fed the same values in two chunkings converge identically.
+  TimeSeries a("a", 16);
+  TimeSeries b("b", 16);
+  for (int i = 0; i < 500; ++i) a.add(i, i * 2);
+  for (int i = 0; i < 250; ++i) b.add(i, i * 2);
+  for (int i = 250; i < 500; ++i) b.add(i, i * 2);
+  ASSERT_EQ(a.points().size(), b.points().size());
+  for (std::size_t i = 0; i < a.points().size(); ++i) {
+    EXPECT_EQ(a.points()[i].at, b.points()[i].at);
+    EXPECT_EQ(a.points()[i].value, b.points()[i].value);
+  }
+}
+
+TEST(Sampler, SamplesAtExactVirtualTimestamps) {
+  sim::Simulation sim;
+  TimeSeriesSampler sampler({/*interval=*/10, /*capacity=*/64});
+  int calls = 0;
+  ASSERT_TRUE(sampler.add_series("x", [&] { return double(++calls); }));
+  EXPECT_FALSE(sampler.add_series("x", [] { return 0.0; }))
+      << "duplicate names are ignored";
+  sampler.start(sim);
+  sim.run_until(55);
+  EXPECT_EQ(sampler.ticks(), 5u);  // first tick one interval after start
+  const TimeSeries* ts = sampler.find("x");
+  ASSERT_NE(ts, nullptr);
+  ASSERT_EQ(ts->points().size(), 5u);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(ts->points()[i].at, (i + 1) * 10);
+    EXPECT_EQ(ts->points()[i].value, i + 1);
+  }
+  EXPECT_EQ(sampler.find("missing"), nullptr);
+}
+
+TEST(Sampler, StopHaltsFurtherTicks) {
+  sim::Simulation sim;
+  TimeSeriesSampler sampler({/*interval=*/10, /*capacity=*/64});
+  sampler.add_series("x", [] { return 1.0; });
+  sampler.start(sim);
+  sim.run_until(35);
+  sampler.stop();
+  sim.run_until(200);
+  EXPECT_EQ(sampler.ticks(), 3u);
+}
+
+TEST(Sampler, LateSeriesJoinAtTheNextTick) {
+  sim::Simulation sim;
+  TimeSeriesSampler sampler({/*interval=*/10, /*capacity=*/64});
+  sampler.add_series("early", [] { return 1.0; });
+  sampler.start(sim);
+  sim.run_until(25);
+  sampler.add_series("late", [] { return 2.0; });
+  sim.run_until(55);
+  EXPECT_EQ(sampler.find("early")->points().size(), 5u);
+  ASSERT_EQ(sampler.find("late")->points().size(), 3u);
+  EXPECT_EQ(sampler.find("late")->points()[0].at, 30);
+}
+
+// The sweep guarantee extended to the flight recorder: per-seed trace and
+// time-series exports are byte-identical whether replicas run serially or
+// on a thread pool.
+TEST(Sweep, FlightRecorderExportsAreByteIdenticalAcrossThreading) {
+  harness::ExperimentConfig cfg;
+  cfg.spines = 2;
+  cfg.leaves = 2;
+  cfg.hosts_per_leaf = 2;
+  cfg.telemetry.timeseries = true;
+  cfg.telemetry.sample_interval = 50 * sim::kMicrosecond;
+  cfg.telemetry.span_sample_every = 4;
+
+  harness::RunOptions opt;
+  opt.warmup = 1 * sim::kMillisecond;
+  opt.measure = 4 * sim::kMillisecond;
+
+  const auto run = [&opt](const harness::ExperimentConfig& seeded) {
+    return harness::run_pairs(seeded, workload::stride_pairs(4, 2), opt);
+  };
+  harness::SweepOptions serial;
+  serial.seeds = 3;
+  serial.threads = 1;
+  harness::SweepOptions parallel = serial;
+  parallel.threads = 3;
+
+  const harness::SweepResult a = harness::run_sweep(cfg, run, serial);
+  const harness::SweepResult b = harness::run_sweep(cfg, run, parallel);
+  ASSERT_EQ(a.runs.size(), b.runs.size());
+  for (std::size_t i = 0; i < a.runs.size(); ++i) {
+    EXPECT_FALSE(a.runs[i].timeseries_csv.empty());
+    EXPECT_FALSE(a.runs[i].trace_json.empty());
+    EXPECT_EQ(a.runs[i].timeseries_csv, b.runs[i].timeseries_csv)
+        << "seed " << i;
+    EXPECT_EQ(a.runs[i].trace_json, b.runs[i].trace_json) << "seed " << i;
+  }
+}
+
+}  // namespace
+}  // namespace presto::telemetry
