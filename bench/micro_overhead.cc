@@ -2,9 +2,13 @@
 // the paper argues must be cheap — flowcell creation in the vSwitch (§5:
 // "Presto needs just two memcpy operations"), GRO merge/flush, TSO split,
 // and the SACK scoreboard.
+//
+// With `--json` (or PRESTO_BENCH_JSON set) the results are additionally
+// written as a presto.bench v1 document to <outdir>/micro_overhead.json.
 
 #include <benchmark/benchmark.h>
 
+#include "bench_micro_json.h"
 #include "core/flowcell_engine.h"
 #include "core/label_map.h"
 #include "offload/official_gro.h"
@@ -142,6 +146,34 @@ void BM_RangeSetAdd(benchmark::State& state) {
 }
 BENCHMARK(BM_RangeSetAdd);
 
+// Console output plus row collection from a single benchmark pass.
+class TeeReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit TeeReporter(presto::bench::CollectingReporter* collect)
+      : collect_(collect) {}
+  void ReportRuns(const std::vector<Run>& runs) override {
+    collect_->ReportRuns(runs);
+    benchmark::ConsoleReporter::ReportRuns(runs);
+  }
+
+ private:
+  presto::bench::CollectingReporter* collect_;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  const presto::bench::MicroJsonConfig json =
+      presto::bench::micro_json_config(argc, argv);
+  benchmark::Initialize(&argc, argv);
+  presto::bench::CollectingReporter collector;
+  TeeReporter tee(&collector);
+  benchmark::RunSpecifiedBenchmarks(&tee);
+  if (json.enabled &&
+      !presto::bench::write_micro_json(json, "micro_overhead",
+                                       collector.rows)) {
+    return 1;
+  }
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,435 @@
+// Scheduler-core performance harness (BENCH_perf_core.json).
+//
+// Two layers:
+//   1. google-benchmark micro benchmarks for the hot-path primitives: the
+//      ladder event queue, inline EventFn dispatch, and the packet pool.
+//   2. An end-to-end events/sec measurement on a pinned fig07-style
+//      scenario (Presto, 4 spines x 2 leaves x 4 hosts/leaf, seed 1000,
+//      10 ms warmup + 90 ms measure), the same workload used to record the
+//      old std::priority_queue+std::function core's baseline.
+//
+// A global allocation-counting operator new backs two guarantees:
+//   - the steady-state schedule path performs ZERO heap allocations for
+//     captures <= 48 bytes (asserted on a bare Simulation loop);
+//   - the end-to-end run's allocations-per-event stays bounded (reported).
+//
+// Output: BENCH_perf_core.json (schema presto.bench v1), written to the
+// current directory or --out <path>. With --baseline <path>, the run
+// compares its events/sec against the baseline file's and exits non-zero
+// on a >25% regression (the CI perf-smoke gate).
+#include <benchmark/benchmark.h>
+#include <sys/resource.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <new>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_micro_json.h"
+#include "harness/runners.h"
+#include "net/packet_pool.h"
+#include "sim/event_fn.h"
+#include "sim/event_queue.h"
+#include "sim/rng.h"
+#include "sim/simulation.h"
+#include "telemetry/json.h"
+#include "telemetry/json_parse.h"
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Allocation counting hook
+// ---------------------------------------------------------------------------
+
+std::atomic<std::uint64_t> g_allocs{0};
+
+}  // namespace
+
+void* operator new(std::size_t n) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(n)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new(std::size_t n, const std::nothrow_t&) noexcept {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(n);
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+
+namespace presto::bench {
+namespace {
+
+std::uint64_t allocs_now() {
+  return g_allocs.load(std::memory_order_relaxed);
+}
+
+/// Peak resident set size in bytes (Linux: ru_maxrss is in KiB).
+std::uint64_t peak_rss_bytes() {
+  rusage ru{};
+  getrusage(RUSAGE_SELF, &ru);
+  return static_cast<std::uint64_t>(ru.ru_maxrss) * 1024;
+}
+
+// ---------------------------------------------------------------------------
+// Micro benchmarks
+// ---------------------------------------------------------------------------
+
+/// 48-byte capture: the size the allocation-free guarantee covers.
+struct Pad48 {
+  std::uint64_t a[6];
+};
+static_assert(sizeof(Pad48) == 48);
+static_assert(sim::EventFn::fits_inline<decltype([p = Pad48{}] {
+                (void)p;
+              })>(),
+              "a 48-byte lambda capture must be stored inline");
+
+void BM_EventFnInline48(benchmark::State& state) {
+  Pad48 pad{};
+  std::uint64_t sink = 0;
+  for (auto _ : state) {
+    sim::EventFn fn([pad, &sink] { sink += pad.a[0] + 1; });
+    fn();
+    benchmark::DoNotOptimize(sink);
+  }
+}
+BENCHMARK(BM_EventFnInline48);
+
+void BM_EventQueueChurn(benchmark::State& state) {
+  sim::EventQueue q;
+  sim::Rng rng(7);
+  sim::Time now = 0;
+  std::uint64_t sink = 0;
+  constexpr int kBatch = 64;
+  for (auto _ : state) {
+    for (int i = 0; i < kBatch; ++i) {
+      q.push(now + static_cast<sim::Time>(rng.below(4000)),
+             [&sink] { ++sink; });
+    }
+    for (int i = 0; i < kBatch; ++i) {
+      sim::Time when;
+      sim::EventFn fn = q.pop(&when);
+      now = when;
+      fn();
+    }
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(state.iterations() * kBatch);
+}
+BENCHMARK(BM_EventQueueChurn);
+
+void BM_SimulationSelfSchedule(benchmark::State& state) {
+  // One self-rescheduling event per iteration batch: the exact steady-state
+  // schedule -> pop -> dispatch cycle of the simulator loop.
+  sim::Simulation sim;
+  std::uint64_t remaining = 0;
+  struct Chain {
+    sim::Simulation& sim;
+    std::uint64_t& remaining;
+    Pad48 pad{};
+    void operator()() {
+      if (--remaining > 0) sim.schedule(100, *this);
+    }
+  };
+  for (auto _ : state) {
+    state.PauseTiming();
+    remaining = 1024;
+    state.ResumeTiming();
+    sim.schedule(1, Chain{sim, remaining});
+    sim.run();
+  }
+  state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_SimulationSelfSchedule);
+
+void BM_PacketPoolCycle(benchmark::State& state) {
+  net::PacketPool pool;
+  net::Packet tmpl;
+  tmpl.payload = 1448;
+  for (auto _ : state) {
+    net::Packet* p = pool.acquire(net::Packet{tmpl});
+    benchmark::DoNotOptimize(p);
+    pool.release(p);
+  }
+}
+BENCHMARK(BM_PacketPoolCycle);
+
+// {name, ns/op, rates} collection is shared with micro_overhead.
+using presto::bench::CollectingReporter;
+using presto::bench::MicroRow;
+
+// ---------------------------------------------------------------------------
+// Allocation-free schedule-path assertion
+// ---------------------------------------------------------------------------
+
+/// Runs a bare Simulation dispatch loop with 48-byte captures and returns
+/// the number of heap allocations in the steady-state phase (must be 0:
+/// bucket capacity is warmed by the first phase, and a 48-byte capture is
+/// inline in EventFn by construction).
+std::uint64_t steady_state_schedule_allocs() {
+  sim::Simulation sim;
+  std::uint64_t remaining = 200000;
+  std::uint64_t hops = 0;
+  struct Chain {
+    sim::Simulation& sim;
+    std::uint64_t& remaining;
+    std::uint64_t& hops;
+    std::uint8_t pad[48 - 3 * sizeof(void*)]{};
+    void operator()() {
+      ++hops;
+      if (--remaining > 0) sim.schedule(static_cast<sim::Time>(hops % 7000),
+                                        *this);
+    }
+  };
+  static_assert(sizeof(Chain) == 48);
+  static_assert(sim::EventFn::fits_inline<Chain>(),
+                "48-byte captures must be stored inline");
+  // Warmup: grows bucket/run vectors to their steady-state capacity.
+  sim.schedule(1, Chain{sim, remaining, hops});
+  sim.run();
+  // Steady state: identical workload, zero allocations expected.
+  remaining = 200000;
+  const std::uint64_t before = allocs_now();
+  sim.schedule(1, Chain{sim, remaining, hops});
+  sim.run();
+  return allocs_now() - before;
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end pinned scenario
+// ---------------------------------------------------------------------------
+
+struct E2eResult {
+  std::uint64_t executed_events = 0;
+  double best_events_per_sec = 0;
+  double ns_per_event = 0;
+  std::uint64_t allocs = 0;
+  int reps = 0;
+};
+
+E2eResult run_e2e(int reps) {
+  harness::ExperimentConfig cfg;
+  cfg.scheme = harness::Scheme::kPresto;
+  cfg.spines = 4;
+  cfg.leaves = 2;
+  cfg.hosts_per_leaf = 4;
+  cfg.seed = 1000;
+  std::vector<workload::HostPair> pairs;
+  for (std::uint32_t i = 0; i < 4; ++i) pairs.emplace_back(i, 4 + i);
+  harness::RunOptions opt;
+  opt.warmup = 10 * sim::kMillisecond;
+  opt.measure = 90 * sim::kMillisecond;
+
+  harness::run_pairs(cfg, pairs, opt);  // process warmup (page-in, caches)
+
+  E2eResult out;
+  out.reps = reps;
+  for (int rep = 0; rep < reps; ++rep) {
+    const std::uint64_t a0 = allocs_now();
+    const auto t0 = std::chrono::steady_clock::now();
+    const harness::RunResult r = harness::run_pairs(cfg, pairs, opt);
+    const auto t1 = std::chrono::steady_clock::now();
+    const double secs = std::chrono::duration<double>(t1 - t0).count();
+    out.executed_events = r.executed_events;
+    out.allocs = allocs_now() - a0;
+    const double eps = static_cast<double>(r.executed_events) / secs;
+    if (eps > out.best_events_per_sec) out.best_events_per_sec = eps;
+  }
+  out.ns_per_event = 1e9 / out.best_events_per_sec;
+  return out;
+}
+
+/// Old-core reference on the identical pinned scenario: measured at the
+/// commit immediately before the ladder-queue swap (std::priority_queue +
+/// std::function core, same host class, best of 3 reps).
+constexpr double kOldCoreEventsPerSec = 5.46e6;
+
+// ---------------------------------------------------------------------------
+// JSON output + baseline gate
+// ---------------------------------------------------------------------------
+
+void write_json(const std::string& path, const E2eResult& e2e,
+                std::uint64_t steady_allocs,
+                const std::vector<MicroRow>& micro) {
+  telemetry::JsonWriter w;
+  w.begin_object();
+  w.key("schema");
+  w.value(telemetry::kJsonSchemaName);
+  w.key("schema_version");
+  w.value(telemetry::kJsonSchemaVersion);
+  w.key("bench");
+  w.value("perf_core");
+  w.key("scenario");
+  w.begin_object();
+  w.key("scheme");
+  w.value("presto");
+  w.key("spines");
+  w.value(std::uint64_t{4});
+  w.key("leaves");
+  w.value(std::uint64_t{2});
+  w.key("hosts_per_leaf");
+  w.value(std::uint64_t{4});
+  w.key("seed");
+  w.value(std::uint64_t{1000});
+  w.key("warmup_ms");
+  w.value(std::uint64_t{10});
+  w.key("measure_ms");
+  w.value(std::uint64_t{90});
+  w.end_object();
+  w.key("e2e");
+  w.begin_object();
+  w.key("executed_events");
+  w.value(e2e.executed_events);
+  w.key("reps");
+  w.value(static_cast<std::uint64_t>(e2e.reps));
+  w.key("events_per_sec");
+  w.value(e2e.best_events_per_sec);
+  w.key("ns_per_event");
+  w.value(e2e.ns_per_event);
+  w.key("allocs");
+  w.value(e2e.allocs);
+  w.key("allocs_per_event");
+  w.value(static_cast<double>(e2e.allocs) /
+          static_cast<double>(e2e.executed_events));
+  w.key("old_core_events_per_sec");
+  w.value(kOldCoreEventsPerSec);
+  w.key("speedup_vs_old_core");
+  w.value(e2e.best_events_per_sec / kOldCoreEventsPerSec);
+  w.end_object();
+  w.key("schedule_path");
+  w.begin_object();
+  w.key("steady_state_allocs");
+  w.value(steady_allocs);
+  w.key("inline_capture_bytes");
+  w.value(static_cast<std::uint64_t>(sim::EventFn::kInlineBytes));
+  w.end_object();
+  w.key("peak_rss_bytes");
+  w.value(peak_rss_bytes());
+  w.key("micro");
+  w.begin_array();
+  for (const auto& row : micro) {
+    w.begin_object();
+    w.key("name");
+    w.value(row.name);
+    w.key("ns_per_op");
+    w.value(row.ns_per_op);
+    if (row.items_per_sec > 0) {
+      w.key("items_per_sec");
+      w.value(row.items_per_sec);
+    }
+    if (row.bytes_per_sec > 0) {
+      w.key("bytes_per_sec");
+      w.value(row.bytes_per_sec);
+    }
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+
+  if (std::FILE* f = std::fopen(path.c_str(), "w")) {
+    const std::string& doc = w.str();
+    std::fwrite(doc.data(), 1, doc.size(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+    std::fprintf(stderr, "[perf_core] wrote %s\n", path.c_str());
+  } else {
+    std::fprintf(stderr, "[perf_core] cannot write %s\n", path.c_str());
+  }
+}
+
+/// Returns 0 when `current` is within 25% of the baseline file's
+/// events/sec (or faster); 1 on regression or unreadable baseline.
+int check_baseline(const std::string& path, double current) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "[perf_core] baseline %s not readable\n",
+                 path.c_str());
+    return 1;
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  telemetry::JsonValue doc;
+  std::string err;
+  if (!telemetry::parse_json(ss.str(), doc, err)) {
+    std::fprintf(stderr, "[perf_core] baseline parse error: %s\n",
+                 err.c_str());
+    return 1;
+  }
+  const double base = doc.get("e2e").num_or("events_per_sec", 0);
+  if (base <= 0) {
+    std::fprintf(stderr, "[perf_core] baseline lacks e2e.events_per_sec\n");
+    return 1;
+  }
+  const double ratio = current / base;
+  std::fprintf(stderr,
+               "[perf_core] events/sec %.0f vs baseline %.0f (%.2fx)\n",
+               current, base, ratio);
+  if (ratio < 0.75) {
+    std::fprintf(stderr, "[perf_core] REGRESSION: >25%% below baseline\n");
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace presto::bench
+
+int main(int argc, char** argv) {
+  using namespace presto::bench;
+
+  std::string out_path = "BENCH_perf_core.json";
+  std::string baseline_path;
+  int reps = 3;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (arg == "--baseline" && i + 1 < argc) {
+      baseline_path = argv[++i];
+    } else if (arg == "--reps" && i + 1 < argc) {
+      reps = std::atoi(argv[++i]);
+    }
+  }
+
+  // Micro benchmarks (console + collected for the JSON "micro" array).
+  benchmark::Initialize(&argc, argv);
+  CollectingReporter collector;
+  benchmark::RunSpecifiedBenchmarks(&collector);
+
+  const std::uint64_t steady_allocs = steady_state_schedule_allocs();
+  std::fprintf(stderr, "[perf_core] steady-state schedule allocs: %llu\n",
+               static_cast<unsigned long long>(steady_allocs));
+  if (steady_allocs != 0) {
+    std::fprintf(stderr,
+                 "[perf_core] FAIL: schedule path allocated on the steady "
+                 "state (inline-capture guarantee broken)\n");
+    return 1;
+  }
+
+  const E2eResult e2e = run_e2e(reps < 1 ? 1 : reps);
+  std::fprintf(stderr,
+               "[perf_core] e2e: %llu events, best %.0f events/sec "
+               "(%.1f ns/event, %.2fx old core)\n",
+               static_cast<unsigned long long>(e2e.executed_events),
+               e2e.best_events_per_sec, e2e.ns_per_event,
+               e2e.best_events_per_sec / kOldCoreEventsPerSec);
+
+  write_json(out_path, e2e, steady_allocs, collector.rows);
+
+  if (!baseline_path.empty()) {
+    return check_baseline(baseline_path, e2e.best_events_per_sec);
+  }
+  return 0;
+}

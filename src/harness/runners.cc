@@ -101,6 +101,7 @@ RunResult run_pairs(const ExperimentConfig& cfg,
                         : 100.0 * static_cast<double>(drop) /
                               static_cast<double>(enq + drop);
   probes.collect(r);
+  r.executed_events = ex.sim().executed();
   r.telemetry = ex.telemetry_snapshot();
   if (ex.flight_recorder_enabled()) {
     r.trace_json = ex.export_trace_json();
@@ -183,6 +184,7 @@ RunResult run_shuffle(const ExperimentConfig& cfg,
                         : 100.0 * static_cast<double>(drop) /
                               static_cast<double>(enq + drop);
   probes.collect(r);
+  r.executed_events = ex.sim().executed();
   r.telemetry = ex.telemetry_snapshot();
   if (ex.flight_recorder_enabled()) {
     r.trace_json = ex.export_trace_json();

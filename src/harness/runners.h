@@ -37,6 +37,9 @@ struct RunResult {
   stats::Samples rtt_ms;               ///< Probe round-trip times.
   stats::Samples fct_ms;               ///< Mice flow completion times.
   std::uint64_t mice_timeouts = 0;     ///< RTOs on mice connections.
+  /// Simulator events executed over the whole run (scheduler-identity
+  /// digest: any change to event ordering or count shows up here).
+  std::uint64_t executed_events = 0;
   /// End-of-run telemetry (empty unless cfg.telemetry enabled it).
   telemetry::Snapshot telemetry;
   /// Flight-recorder exports (empty unless cfg.telemetry enabled the

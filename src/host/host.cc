@@ -121,7 +121,12 @@ void Host::egress_segment(net::Packet&& seg) {
   if (depart <= now) {
     egress_now(std::move(seg));
   } else {
-    sim_.schedule_at(depart, [this, seg = std::move(seg)]() mutable {
+    // Park the segment in a pooled slot so the event capture stays inline
+    // (16 bytes) instead of hauling the whole Packet into the event.
+    net::Packet* slot = jitter_pool_.acquire(std::move(seg));
+    sim_.schedule_at(depart, [this, slot] {
+      net::Packet seg = std::move(*slot);
+      jitter_pool_.release(slot);
       egress_now(std::move(seg));
     });
   }
@@ -169,7 +174,7 @@ void Host::nic_interrupt() {
 
   sim::Time cost = 0;
   const bool presto = cfg_.gro == GroKind::kPresto;
-  std::vector<net::Packet> acks;
+  std::vector<net::Packet> acks = take_spare(ack_spares_);
   for (net::Packet& p : batch) {
     cost += cfg_.cpu_costs.per_packet;
     if (presto) cost += cfg_.cpu_costs.presto_extra_per_packet;
@@ -184,7 +189,11 @@ void Host::nic_interrupt() {
   }
   if (gro_ != nullptr) gro_->flush(now);
   dispatch(std::move(pending_segments_), std::move(acks), cost);
-  pending_segments_.clear();
+  pending_segments_ = take_spare(seg_spares_);
+  // The drained batch still owns the ring's grown capacity — hand it back so
+  // steady-state interrupts never reallocate the ring.
+  batch.clear();
+  ring_ = std::move(batch);
   schedule_held_flush();
 }
 
@@ -193,8 +202,8 @@ void Host::held_flush() {
   if (gro_ == nullptr || !gro_->has_held_segments()) return;
   gro_->flush(sim_.now());
   if (!pending_segments_.empty()) {
-    dispatch(std::move(pending_segments_), {}, 0);
-    pending_segments_.clear();
+    dispatch(std::move(pending_segments_), take_spare(ack_spares_), 0);
+    pending_segments_ = take_spare(seg_spares_);
   }
   schedule_held_flush();
 }
@@ -220,11 +229,18 @@ void Host::dispatch(std::vector<offload::Segment> segments,
       cost += cfg_.cpu_costs.per_ooo_segment;
     }
   }
-  if (cost <= 0 && segments.empty() && acks.empty()) return;
+  if (cost <= 0 && segments.empty() && acks.empty()) {
+    recycle(seg_spares_, std::move(segments));
+    recycle(ack_spares_, std::move(acks));
+    return;
+  }
   cpu_.submit(cost, [this, segments = std::move(segments),
-                     acks = std::move(acks)] {
+                     acks = std::move(acks)]() mutable {
     for (const net::Packet& a : acks) deliver_ack(a);
     for (const offload::Segment& s : segments) deliver_segment(s);
+    // Completed batches return their capacity for the next interrupt.
+    recycle(seg_spares_, std::move(segments));
+    recycle(ack_spares_, std::move(acks));
   });
 }
 

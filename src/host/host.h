@@ -19,6 +19,7 @@
 
 #include "lb/sender_lb.h"
 #include "net/packet.h"
+#include "net/packet_pool.h"
 #include "net/port.h"
 #include "net/sink.h"
 #include "offload/cpu_model.h"
@@ -147,6 +148,24 @@ class Host : public net::PacketSink {
   /// Post-jitter egress: LB stamping + TSO split + uplink enqueue.
   void egress_now(net::Packet&& seg);
 
+  /// Spare-vector freelists: interrupt batches hand their capacity back once
+  /// the CPU-model callback delivers them, so steady-state polls reuse grown
+  /// vectors instead of reallocating each interrupt.
+  template <typename T>
+  static std::vector<T> take_spare(std::vector<std::vector<T>>& spares) {
+    if (spares.empty()) return {};
+    std::vector<T> v = std::move(spares.back());
+    spares.pop_back();
+    return v;
+  }
+  template <typename T>
+  static void recycle(std::vector<std::vector<T>>& spares,
+                      std::vector<T>&& v) {
+    if (spares.size() >= kMaxSpares || v.capacity() == 0) return;
+    v.clear();
+    spares.push_back(std::move(v));
+  }
+
   sim::Simulation& sim_;
   net::HostId id_;
   HostConfig cfg_;
@@ -158,6 +177,8 @@ class Host : public net::PacketSink {
   offload::CpuModel cpu_;
 
   std::vector<net::Packet> ring_;
+  /// Slots for jitter-delayed egress segments (see egress_segment()).
+  net::PacketPool jitter_pool_;
   bool interrupt_scheduled_ = false;
   bool held_flush_pending_ = false;
   std::uint32_t flow_series_made_ = 0;
@@ -167,6 +188,9 @@ class Host : public net::PacketSink {
   /// Segments pushed by GRO during the current poll (drained by dispatch()).
   std::vector<offload::Segment> pending_segments_;
   std::vector<net::Packet> tso_scratch_;
+  static constexpr std::size_t kMaxSpares = 8;
+  std::vector<std::vector<offload::Segment>> seg_spares_;
+  std::vector<std::vector<net::Packet>> ack_spares_;
 
   std::unordered_map<net::FlowKey, std::unique_ptr<tcp::TcpSender>,
                      net::FlowKeyHash>

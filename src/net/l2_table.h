@@ -1,0 +1,91 @@
+// Flat open-addressed MAC -> port table for the switch forwarding hot path.
+//
+// Switch::resolve() does one exact-match lookup per frame per hop; with
+// std::unordered_map that lookup is a modulo plus a bucket-list pointer
+// chase. This table keeps the (mac, port) pairs in one contiguous
+// power-of-two slot array probed linearly from a mixed hash, so the common
+// hit costs one cache line. kInvalidMac (0) marks empty slots — real and
+// shadow MACs are never 0 (net/types.h).
+//
+// Mutations come from the control plane (topology wiring, failover
+// reconfiguration), so erase() simply rebuilds the table; only find() is
+// datapath.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "net/types.h"
+
+namespace presto::net {
+
+class L2Table {
+ public:
+  L2Table() : slots_(kMinSlots) {}
+
+  /// Installs/overwrites the entry for `mac`.
+  void insert(MacAddr mac, PortId out) {
+    if ((size_ + 1) * 4 > slots_.size() * 3) grow(slots_.size() * 2);
+    Slot& s = probe(mac);
+    if (s.mac == kInvalidMac) {
+      s.mac = mac;
+      ++size_;
+    }
+    s.out = out;
+  }
+
+  /// Removes the entry for `mac` (no-op when absent). Rebuilds the slot
+  /// array so linear probe chains stay tombstone-free.
+  void erase(MacAddr mac) {
+    Slot& s = probe(mac);
+    if (s.mac == kInvalidMac) return;
+    s.mac = kInvalidMac;
+    --size_;
+    grow(slots_.size());
+  }
+
+  /// Looks up `mac`; returns false when absent.
+  bool find(MacAddr mac, PortId* out) const {
+    std::size_t i = mix64(mac) & (slots_.size() - 1);
+    for (;;) {
+      const Slot& s = slots_[i];
+      if (s.mac == mac) {
+        *out = s.out;
+        return true;
+      }
+      if (s.mac == kInvalidMac) return false;
+      i = (i + 1) & (slots_.size() - 1);
+    }
+  }
+
+  std::size_t size() const { return size_; }
+
+ private:
+  struct Slot {
+    MacAddr mac = kInvalidMac;
+    PortId out = kInvalidPort;
+  };
+
+  static constexpr std::size_t kMinSlots = 16;  // power of two
+
+  Slot& probe(MacAddr mac) {
+    std::size_t i = mix64(mac) & (slots_.size() - 1);
+    while (slots_[i].mac != kInvalidMac && slots_[i].mac != mac) {
+      i = (i + 1) & (slots_.size() - 1);
+    }
+    return slots_[i];
+  }
+
+  void grow(std::size_t new_slots) {
+    std::vector<Slot> old = std::move(slots_);
+    slots_.assign(new_slots < kMinSlots ? kMinSlots : new_slots, Slot{});
+    for (const Slot& s : old) {
+      if (s.mac != kInvalidMac) probe(s.mac) = s;
+    }
+  }
+
+  std::vector<Slot> slots_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace presto::net

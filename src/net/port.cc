@@ -47,46 +47,51 @@ void TxPort::enqueue(Packet p) {
                               p.buffer_bytes());
     }
   }
-  queue_.push_back(std::move(p));
+  queue_.push_back(pool_.acquire(std::move(p)));
   if (!busy_) start_transmission();
 }
 
 void TxPort::start_transmission() {
   busy_ = true;
-  const Packet& head = queue_.front();
+  const Packet& head = *queue_.front();
   const double bits = 8.0 * head.wire_bytes();
   const auto ser_ns =
       static_cast<sim::Time>(bits / cfg_.rate_bps * 1e9 + 0.5);
-  sim_.schedule(ser_ns, [this] {
-    Packet p = std::move(queue_.front());
-    queue_.pop_front();
-    queued_bytes_ -= p.buffer_bytes();
-    ++counters_.tx_packets;
-    counters_.tx_bytes += p.buffer_bytes();
-    if (telem_ != nullptr) {
-      if (telem_->label_flight != nullptr) {
-        telem_->label_flight->add(p.dst_mac,
-                                  -static_cast<std::int64_t>(p.buffer_bytes()));
-      }
-      if (telem_->spans != nullptr && p.span_id != 0) {
-        telem_->spans->annotate(p.span_id, telemetry::SpanEventKind::kDequeue,
-                                sim_.now(), telem_node_, telem_port_, p.seq,
-                                p.buffer_bytes());
-      }
+  sim_.schedule(ser_ns, [this] { finish_transmission(); });
+}
+
+void TxPort::finish_transmission() {
+  Packet* p = queue_.front();
+  queue_.pop_front();
+  queued_bytes_ -= p->buffer_bytes();
+  ++counters_.tx_packets;
+  counters_.tx_bytes += p->buffer_bytes();
+  if (telem_ != nullptr) {
+    if (telem_->label_flight != nullptr) {
+      telem_->label_flight->add(p->dst_mac,
+                                -static_cast<std::int64_t>(p->buffer_bytes()));
     }
-    if (!down_ && peer_ != nullptr && !(loss_ && loss_model_eats(p))) {
-      // Propagate to the far end.
-      sim_.schedule(cfg_.propagation,
-                    [this, p = std::move(p)]() mutable {
-                      peer_->receive(std::move(p), peer_in_port_);
-                    });
+    if (telem_->spans != nullptr && p->span_id != 0) {
+      telem_->spans->annotate(p->span_id, telemetry::SpanEventKind::kDequeue,
+                              sim_.now(), telem_node_, telem_port_, p->seq,
+                              p->buffer_bytes());
     }
-    if (!queue_.empty()) {
-      start_transmission();
-    } else {
-      busy_ = false;
-    }
-  });
+  }
+  if (!down_ && peer_ != nullptr && !(loss_ && loss_model_eats(*p))) {
+    // Propagate to the far end; the frame rides in its pooled slot, so the
+    // event capture is 16 bytes and the slot is recycled on delivery.
+    sim_.schedule(cfg_.propagation, [this, p] {
+      peer_->receive(std::move(*p), peer_in_port_);
+      pool_.release(p);
+    });
+  } else {
+    pool_.release(p);
+  }
+  if (!queue_.empty()) {
+    start_transmission();
+  } else {
+    busy_ = false;
+  }
 }
 
 bool TxPort::loss_model_eats(const Packet& p) {

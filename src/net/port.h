@@ -11,6 +11,7 @@
 #include <optional>
 
 #include "net/packet.h"
+#include "net/packet_pool.h"
 #include "net/sink.h"
 #include "sim/rng.h"
 #include "sim/simulation.h"
@@ -112,6 +113,9 @@ class TxPort {
   };
 
   void start_transmission();
+  /// Serializer completion for the queue head: dequeue, count, and launch
+  /// the propagation event (or drop via the loss model / down state).
+  void finish_transmission();
   /// Steps the degraded-link model for one frame; true => the wire ate it.
   bool loss_model_eats(const Packet& p);
 
@@ -120,7 +124,10 @@ class TxPort {
   PacketSink* peer_ = nullptr;
   PortId peer_in_port_ = kInvalidPort;
 
-  std::deque<Packet> queue_;
+  /// Queued frames live in pooled slots; the deque holds only pointers, and
+  /// in-flight propagation events capture {this, slot} inline.
+  PacketPool pool_;
+  std::deque<Packet*> queue_;
   std::uint64_t queued_bytes_ = 0;
   bool busy_ = false;
   bool down_ = false;

@@ -28,8 +28,8 @@ void Switch::receive(Packet p, PortId in_port) {
 }
 
 PortId Switch::resolve(const Packet& p) const {
-  if (auto it = l2_table_.find(p.dst_mac); it != l2_table_.end()) {
-    return it->second;
+  if (PortId out; l2_table_.find(p.dst_mac, &out)) {
+    return out;
   }
   if (auto it = ecmp_groups_.find(p.dst_host); it != ecmp_groups_.end()) {
     const auto& members = it->second;

@@ -19,6 +19,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "net/l2_table.h"
 #include "net/packet.h"
 #include "net/port.h"
 #include "net/sink.h"
@@ -45,7 +46,7 @@ class Switch : public PacketSink {
   std::size_t port_count() const { return ports_.size(); }
 
   /// Installs/overwrites an exact-match L2 entry (shadow MAC or real MAC).
-  void install_l2(MacAddr mac, PortId out) { l2_table_[mac] = out; }
+  void install_l2(MacAddr mac, PortId out) { l2_table_.insert(mac, out); }
   void remove_l2(MacAddr mac) { l2_table_.erase(mac); }
 
   /// Installs an ECMP group: frames for `dst` (real-MAC forwarding) hash
@@ -94,7 +95,7 @@ class Switch : public PacketSink {
   std::string name_;
   std::uint64_t salt_;
   std::vector<std::unique_ptr<TxPort>> ports_;
-  std::unordered_map<MacAddr, PortId> l2_table_;
+  L2Table l2_table_;
   std::unordered_map<HostId, std::vector<PortId>> ecmp_groups_;
   std::unordered_map<PortId, PortId> failover_;
   std::uint64_t no_route_drops_ = 0;

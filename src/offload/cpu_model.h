@@ -19,8 +19,8 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 
+#include "sim/event_fn.h"
 #include "sim/simulation.h"
 #include "sim/time.h"
 
@@ -48,7 +48,7 @@ class CpuModel {
   const CpuCosts& costs() const { return costs_; }
 
   /// Enqueues `cost_ns` of work; runs `done` when it completes (FIFO).
-  void submit(sim::Time cost_ns, std::function<void()> done) {
+  void submit(sim::Time cost_ns, sim::EventFn done) {
     const sim::Time start = std::max(sim_.now(), free_at_);
     free_at_ = start + cost_ns;
     busy_ns_ += cost_ns;

@@ -1,18 +1,20 @@
 // Discrete-event simulation engine.
 //
-// A Simulation owns the virtual clock and a min-heap of pending events.
-// Components capture a Simulation& and call schedule()/schedule_at() to post
-// callbacks; run()/run_until() drains the heap in timestamp order. Ties are
-// broken by insertion order (FIFO), which keeps packet processing at equal
-// timestamps deterministic.
+// A Simulation owns the virtual clock and a two-level ladder queue of
+// pending events (sim/event_queue.h). Components capture a Simulation& and
+// call schedule()/schedule_at() to post callbacks; run()/run_until() drains
+// the queue in timestamp order. Ties are broken by insertion order (FIFO),
+// which keeps packet processing at equal timestamps deterministic.
+//
+// Callbacks are EventFn (sim/event_fn.h): captures up to 64 bytes are
+// stored inline, so the steady-state schedule path performs zero heap
+// allocations per event.
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <utility>
-#include <vector>
 
+#include "sim/event_fn.h"
+#include "sim/event_queue.h"
 #include "sim/time.h"
 
 namespace presto::sim {
@@ -21,7 +23,7 @@ namespace presto::sim {
 /// runs on a single thread by design (determinism over parallelism).
 class Simulation {
  public:
-  using Callback = std::function<void()>;
+  using Callback = EventFn;
 
   Simulation() = default;
   Simulation(const Simulation&) = delete;
@@ -39,25 +41,26 @@ class Simulation {
   /// Schedules `cb` at absolute time `when` (clamped to now()).
   void schedule_at(Time when, Callback cb) {
     if (when < now_) when = now_;
-    heap_.push(Event{when, next_seq_++, std::move(cb)});
+    queue_.push(when, std::move(cb));
   }
 
-  /// Runs events until the heap is empty or `stop()` is called.
+  /// Runs events until the queue is empty or `stop()` is called.
   void run() { run_until(kTimeNever); }
 
   /// Runs events with timestamp <= `deadline`; afterwards now() == deadline
-  /// (unless the heap drained earlier or stop() was called, in which case
+  /// (unless the queue drained earlier or stop() was called, in which case
   /// now() is the time of the last executed event).
   void run_until(Time deadline) {
     stopped_ = false;
-    while (!stopped_ && !heap_.empty() && heap_.top().when <= deadline) {
-      // Move the callback out before popping so it survives re-entrant
-      // scheduling from inside the callback.
-      Event ev = std::move(const_cast<Event&>(heap_.top()));
-      heap_.pop();
-      now_ = ev.when;
+    while (!stopped_ && !queue_.empty()) {
+      // The callback is moved out of queue storage before it runs, so it
+      // survives re-entrant scheduling from inside the callback.
+      Time when;
+      EventFn fn;
+      if (!queue_.pop_due(deadline, &when, &fn)) break;
+      now_ = when;
       ++executed_;
-      ev.cb();
+      fn();
     }
     if (!stopped_ && deadline != kTimeNever && now_ < deadline) {
       now_ = deadline;
@@ -68,24 +71,14 @@ class Simulation {
   void stop() { stopped_ = true; }
 
   /// Number of pending events (for tests/diagnostics).
-  std::size_t pending() const { return heap_.size(); }
+  std::size_t pending() const { return queue_.size(); }
 
   /// Total number of events executed so far.
   std::uint64_t executed() const { return executed_; }
 
  private:
-  struct Event {
-    Time when;
-    std::uint64_t seq;  // FIFO tie-break
-    Callback cb;
-    bool operator>(const Event& o) const {
-      return when != o.when ? when > o.when : seq > o.seq;
-    }
-  };
-
-  std::priority_queue<Event, std::vector<Event>, std::greater<>> heap_;
+  EventQueue queue_;
   Time now_ = 0;
-  std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
   bool stopped_ = false;
 };

@@ -3,7 +3,9 @@
 // pair, and scheme-independent conservation laws.
 #include <gtest/gtest.h>
 
+#include "golden_util.h"
 #include "harness/experiment.h"
+#include "harness/sweep.h"
 #include "workload/patterns.h"
 
 namespace presto::harness {
@@ -232,6 +234,59 @@ TEST(EndToEnd, NorthSouthBidirectional) {
   ex.sim().run_until(500 * sim::kMillisecond);
   EXPECT_EQ(up->delivered(), 1'000'000u);
   EXPECT_EQ(down->delivered(), 1'000'000u);
+}
+
+// ---------------------------------------------------------------------------
+// Golden determinism digests (tests/golden_util.h)
+//
+// These digests were captured on the pre-ladder-queue scheduler core
+// (std::priority_queue + std::function) and lock the simulator's observable
+// behavior bit-for-bit: executed-event counts, delivered bytes, drop/GRO
+// counters, RTT/FCT sample streams, and the trace/CSV exports. Any change
+// to event ordering, RNG draw order, or telemetry content fails here.
+// ---------------------------------------------------------------------------
+
+TEST(GoldenDeterminism, Fig07StyleRunDigestIsLocked) {
+  const ExperimentConfig cfg = presto::testing::golden_fig07_config();
+  const RunResult r = presto::testing::golden_fig07_run(cfg);
+  EXPECT_EQ(r.executed_events, 1381928u);
+  EXPECT_EQ(presto::testing::digest(r), 0xee7cfd2f6347a333ULL)
+      << "canonical form:\n"
+      << presto::testing::canonical(r).substr(0, 2000);
+}
+
+TEST(GoldenDeterminism, Fig19FaultRecoveryDigestIsLocked) {
+  const RunResult r = presto::testing::golden_fig19_run();
+  EXPECT_EQ(r.executed_events, 9271279u);
+  EXPECT_EQ(presto::testing::digest(r), 0xcfa855201cc5edc6ULL)
+      << "canonical form:\n"
+      << presto::testing::canonical(r).substr(0, 2000);
+}
+
+TEST(GoldenDeterminism, SerialAndThreadedSweepsAreBitIdentical) {
+  const ExperimentConfig base = presto::testing::golden_fig07_config();
+  const SweepRunFn run = [](const ExperimentConfig& cfg) {
+    return presto::testing::golden_fig07_run(cfg);
+  };
+  SweepOptions serial;
+  serial.seeds = 3;
+  serial.threads = 1;
+  SweepOptions threaded = serial;
+  threaded.threads = 3;
+  const SweepResult a = run_sweep(base, run, serial);
+  const SweepResult b = run_sweep(base, run, threaded);
+  ASSERT_EQ(a.runs.size(), b.runs.size());
+  for (std::size_t i = 0; i < a.runs.size(); ++i) {
+    EXPECT_EQ(presto::testing::digest(a.runs[i]),
+              presto::testing::digest(b.runs[i]))
+        << "seed replica " << i;
+  }
+  // Merged aggregates reproduce the serial accumulation bit-for-bit.
+  EXPECT_EQ(a.avg_tput_gbps, b.avg_tput_gbps);
+  EXPECT_EQ(a.fairness, b.fairness);
+  EXPECT_EQ(a.loss_pct, b.loss_pct);
+  EXPECT_EQ(a.mice_timeouts, b.mice_timeouts);
+  EXPECT_EQ(a.telemetry.counters, b.telemetry.counters);
 }
 
 }  // namespace

@@ -306,5 +306,141 @@ TEST(Packet, WireAndBufferBytes) {
   EXPECT_EQ(p.end_seq(), p.seq + 1448);
 }
 
+// ---------------------------------------------------------------------------
+// PacketPool: slot recycling without cross-incarnation leakage
+// ---------------------------------------------------------------------------
+
+/// A packet with every field set to a distinctive non-default value.
+Packet fully_dirty_packet() {
+  Packet p;
+  p.dst_mac = shadow_mac(7, 3);
+  p.src_host = 11;
+  p.dst_host = 22;
+  p.flow = FlowKey{11, 22, 1111, 2222};
+  p.seq = 0xABCDEF;
+  p.payload = 1448;
+  p.ack = 0x123456;
+  p.is_ack = true;
+  p.is_retx = true;
+  p.sack = {SackBlock{1, 2}, SackBlock{3, 4}, SackBlock{5, 6}};
+  p.ts_echo = 777;
+  p.ts_sent = 888;
+  p.flowcell_id = 99;
+  p.ecmp_extra = 0xFEED;
+  p.span_id = 42;
+  return p;
+}
+
+void expect_default(const Packet& p) {
+  const Packet d;
+  EXPECT_EQ(p.dst_mac, d.dst_mac);
+  EXPECT_EQ(p.src_host, d.src_host);
+  EXPECT_EQ(p.dst_host, d.dst_host);
+  EXPECT_EQ(p.flow, d.flow);
+  EXPECT_EQ(p.seq, d.seq);
+  EXPECT_EQ(p.payload, d.payload);
+  EXPECT_EQ(p.ack, d.ack);
+  EXPECT_EQ(p.is_ack, d.is_ack);
+  EXPECT_EQ(p.is_retx, d.is_retx);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(p.sack[static_cast<std::size_t>(i)].start,
+              d.sack[static_cast<std::size_t>(i)].start);
+    EXPECT_EQ(p.sack[static_cast<std::size_t>(i)].end,
+              d.sack[static_cast<std::size_t>(i)].end);
+  }
+  EXPECT_EQ(p.ts_echo, d.ts_echo);
+  EXPECT_EQ(p.ts_sent, d.ts_sent);
+  EXPECT_EQ(p.flowcell_id, d.flowcell_id);
+  EXPECT_EQ(p.ecmp_extra, d.ecmp_extra);
+  EXPECT_EQ(p.span_id, d.span_id);
+}
+
+TEST(PacketPool, ReacquiredSlotNeverLeaksPreviousIncarnation) {
+  PacketPool pool;
+  Packet* slot = pool.acquire(fully_dirty_packet());
+  pool.release(slot);
+  // Drain the whole freelist through acquire(): every slot — including the
+  // one the dirty packet lived in — must come back default-constructed
+  // (span_id, flowcell_id, SACK blocks, retx flags all cleared).
+  std::vector<Packet*> all;
+  bool saw_reused = false;
+  for (std::size_t i = 0; i < pool.capacity(); ++i) {
+    Packet* p = pool.acquire();
+    expect_default(*p);
+    saw_reused |= (p == slot);
+    all.push_back(p);
+  }
+  EXPECT_TRUE(saw_reused);
+  EXPECT_EQ(pool.in_use(), pool.capacity());
+  for (Packet* p : all) pool.release(p);
+  EXPECT_EQ(pool.in_use(), 0u);
+}
+
+TEST(PacketPool, AcquireAssignOverwritesEveryFieldOfADirtySlot) {
+  PacketPool pool;
+  // Dirty every slot in the first chunk, then recycle them all.
+  std::vector<Packet*> slots;
+  for (int i = 0; i < 64; ++i) slots.push_back(pool.acquire(fully_dirty_packet()));
+  for (Packet* p : slots) pool.release(p);
+  // The assign path must leave exactly the new packet's fields — nothing
+  // inherited from the dirty incarnation.
+  Packet fresh;
+  fresh.payload = 100;
+  fresh.seq = 5;
+  Packet* p = pool.acquire(Packet{fresh});
+  EXPECT_EQ(p->payload, 100u);
+  EXPECT_EQ(p->seq, 5u);
+  EXPECT_EQ(p->span_id, 0u);
+  EXPECT_EQ(p->flowcell_id, 0u);
+  EXPECT_FALSE(p->is_retx);
+  EXPECT_FALSE(p->is_ack);
+  EXPECT_EQ(p->sack[0].start, 0u);
+  EXPECT_EQ(p->sack[0].end, 0u);
+  pool.release(p);
+}
+
+TEST(PacketPool, ChurnReusesCapacityInsteadOfGrowing) {
+  PacketPool pool;
+  sim::Simulation sim;
+  std::vector<Packet*> live;
+  // Churn: interleave acquires and releases, never holding more than one
+  // chunk's worth — capacity must stay at exactly one chunk.
+  for (int round = 0; round < 1000; ++round) {
+    while (live.size() < 48) live.push_back(pool.acquire(fully_dirty_packet()));
+    while (live.size() > 16) {
+      pool.release(live.back());
+      live.pop_back();
+    }
+  }
+  EXPECT_EQ(pool.capacity(), 64u);
+  EXPECT_EQ(pool.in_use(), live.size());
+  for (Packet* p : live) pool.release(p);
+  EXPECT_EQ(pool.in_use(), 0u);
+}
+
+TEST(PacketPool, TxPortRecyclesInFlightSlots) {
+  // End-to-end through TxPort: packets ride pooled slots through the queue
+  // and the propagation event; delivered packets must carry their own
+  // fields (no slot aliasing between consecutive frames).
+  sim::Simulation sim;
+  LinkConfig cfg;
+  TxPort port(sim, cfg);
+  SinkRecorder sink(sim);
+  port.connect(&sink, 3);
+  for (std::uint32_t i = 0; i < 200; ++i) {
+    Packet p = make_packet(1000 + i);
+    p.seq = i;
+    p.flowcell_id = 1000 + i;
+    port.enqueue(std::move(p));
+  }
+  sim.run();
+  ASSERT_EQ(sink.packets.size(), 200u);
+  for (std::uint32_t i = 0; i < 200; ++i) {
+    EXPECT_EQ(sink.packets[i].seq, i);
+    EXPECT_EQ(sink.packets[i].flowcell_id, 1000 + i);
+    EXPECT_EQ(sink.packets[i].payload, 1000 + i);
+  }
+}
+
 }  // namespace
 }  // namespace presto::net
