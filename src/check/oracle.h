@@ -1,0 +1,179 @@
+// Simulation invariant oracles.
+//
+// A Checker attaches to a fully built harness::Experiment through the wire
+// taps (net::WireTap), the per-host GRO segment taps, and the FlowcellEngine
+// dispatch tap, then audits the run against properties that must hold for
+// *every* scenario, fault plan, and scheme:
+//
+//   * Conservation — every frame accepted into a sender's uplink queue is
+//     either delivered into the destination ring or destroyed with an
+//     attributed cause; at quiesce the books balance per flow and per
+//     spanning-tree label.
+//   * TCP sequence-space sanity — each sender's snd_una/snd_nxt/snd_high
+//     ordering, SACK scoreboard bounds, FACK position, recovery window and
+//     cwnd/ssthresh/RTO ranges (TcpSender::check_invariants); receivers
+//     never hold out-of-order data at/below the in-order frontier, and the
+//     delivered stream is a prefix of bytes that actually crossed the wire.
+//   * GRO differential — every byte GRO pushes up the stack arrived on the
+//     wire first; Presto GRO never merges across flowcell boundaries; at
+//     quiesce the pushed coverage equals the arrived coverage (GRO cannot
+//     wedge bytes in a held segment forever).
+//   * Topology/label — frames entering a leaf from host h carry src h; a
+//     shadow-MAC label names a live tree and the packet's real destination;
+//     in fault-free runs a tree's frames only transit that tree's spine; the
+//     final leaf hop matches the label's (or tunnel's) destination.
+//   * Quarantine — the edge-suspicion policy never dispatches a flowcell on
+//     a quarantined label while a healthy one exists.
+//
+// Callbacks are synchronous and never mutate the simulation; when no
+// Checker is armed every component pays one null-pointer branch (same
+// pattern as telemetry probes).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "harness/experiment.h"
+#include "net/flow_key.h"
+#include "net/tap.h"
+#include "tcp/range_set.h"
+
+namespace presto::check {
+
+enum class OracleKind : std::uint8_t {
+  kConservation,
+  kTcp,
+  kGro,
+  kTopology,
+  kQuarantine,
+  kLiveness,
+};
+
+const char* oracle_kind_name(OracleKind k);
+
+struct Violation {
+  OracleKind kind;
+  std::string message;
+};
+
+struct CheckerOptions {
+  bool conservation = true;
+  bool tcp = true;
+  bool gro = true;
+  bool topology = true;
+  /// Pin each tree's frames to its computed spine. Only valid while no
+  /// fault fires: failover bounce-back and controller reroutes legitimately
+  /// carry a tree's label across another spine. The scenario runner clears
+  /// this whenever the fault plan is non-empty.
+  bool strict_tree_spine = true;
+  /// Run the full TCP-invariant sweep every N frames delivered into a host
+  /// ring (0 = only at finish()). Piggybacking on deliveries keeps the
+  /// checker from scheduling its own events, which would defeat
+  /// run-to-quiesce detection.
+  std::uint32_t tcp_poll_every = 1024;
+  /// Recording stops after this many violations (the count keeps rising).
+  std::size_t max_violations = 64;
+};
+
+class Checker final : public net::WireTap {
+ public:
+  explicit Checker(harness::Experiment& ex, CheckerOptions opt = {});
+
+  /// Installs every tap. Call once, after the Experiment is built and
+  /// before any workload starts.
+  void arm();
+
+  /// End-of-run audit. `drained` says the event queue emptied before the
+  /// scenario cap; when false a liveness violation is recorded and the
+  /// quiesce-only checks (conservation balance, GRO completeness) are
+  /// skipped — frames legitimately remain in flight.
+  void finish(bool drained);
+
+  /// Records an externally detected violation (the scenario runner uses
+  /// this for workload-completion liveness).
+  void note(OracleKind kind, std::string message) {
+    add_violation(kind, std::move(message));
+  }
+
+  const std::vector<Violation>& violations() const { return violations_; }
+  bool ok() const { return total_violations_ == 0; }
+  std::uint64_t total_violations() const { return total_violations_; }
+  /// Human-readable summary, one line per recorded violation.
+  std::string report() const;
+
+  /// Frames accepted into host rings (cheap progress signal for tests).
+  std::uint64_t frames_delivered() const { return delivered_frames_; }
+
+  // -- net::WireTap ---------------------------------------------------------
+  void on_port_enqueue(std::uint32_t node, net::PortId port,
+                       const net::Packet& p) override;
+  void on_drop(std::uint32_t node, net::PortId port, const net::Packet& p,
+               net::TapDropCause cause) override;
+  void on_switch_rx(net::SwitchId sw, net::PortId in_port,
+                    const net::Packet& p) override;
+  void on_host_rx(net::HostId host, const net::Packet& p) override;
+
+ private:
+  /// Per-flow audit trail (both directions of a connection are distinct
+  /// flows; pure-ACK flows simply have zero payload bytes).
+  struct FlowAudit {
+    std::uint64_t injected_frames = 0;
+    std::uint64_t injected_payload = 0;
+    std::uint64_t delivered_frames = 0;
+    std::uint64_t delivered_payload = 0;
+    std::uint64_t dropped_frames = 0;
+    std::uint64_t dropped_payload = 0;
+    /// Wire-arrival coverage at the destination ring (data bytes only).
+    tcp::RangeSet arrived;
+    /// GRO-pushed coverage at the destination.
+    tcp::RangeSet pushed;
+    /// Arrival coverage per flowcell (Presto GRO boundary differential).
+    std::map<std::uint64_t, tcp::RangeSet> cell_arrived;
+  };
+
+  struct TreeAudit {
+    std::uint64_t injected_frames = 0;
+    std::uint64_t delivered_frames = 0;
+    std::uint64_t dropped_frames = 0;
+  };
+
+  /// What is wired into a switch's input port.
+  struct PortOrigin {
+    enum Kind : std::uint8_t { kUnknown, kHost, kSwitch };
+    Kind kind = kUnknown;
+    std::uint32_t id = 0;
+  };
+
+  void add_violation(OracleKind kind, std::string message);
+  void on_pushed_segment(net::HostId host, bool presto_gro,
+                         const offload::Segment& s);
+  void on_dispatch(const net::FlowKey& flow, std::uint64_t cell,
+                   net::MacAddr label, bool chosen_suspect, bool all_suspect);
+  void tcp_sweep(const char* when);
+  PortOrigin origin(net::SwitchId sw, net::PortId in_port) const;
+  /// Conservation bucket for a frame's forwarding label.
+  std::uint32_t tree_key(const net::Packet& p) const;
+  static std::string flow_name(const net::FlowKey& f);
+
+  harness::Experiment& ex_;
+  CheckerOptions opt_;
+  bool armed_ = false;
+
+  // Topology shadow state (built in arm()).
+  std::vector<std::vector<PortOrigin>> origin_;   ///< [switch][in_port]
+  std::vector<net::SwitchId> attach_switch_;      ///< per host
+  std::vector<bool> is_leaf_;
+  std::vector<net::SwitchId> tree_spine_;         ///< per tree id
+
+  // Audit state.
+  std::unordered_map<net::FlowKey, FlowAudit, net::FlowKeyHash> flows_;
+  std::map<std::uint32_t, TreeAudit> trees_;
+  std::uint64_t delivered_frames_ = 0;
+  std::uint64_t total_violations_ = 0;
+  std::vector<Violation> violations_;
+};
+
+}  // namespace presto::check

@@ -1,0 +1,432 @@
+#include "check/scenario.h"
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdarg>
+#include <cstdio>
+#include <memory>
+#include <stdexcept>
+
+#include "sim/rng.h"
+#include "workload/apps.h"
+
+namespace presto::check {
+namespace {
+
+std::string strf(const char* fmt, ...) {
+  char buf[512];
+  va_list ap;
+  va_start(ap, fmt);
+  std::vsnprintf(buf, sizeof(buf), fmt, ap);
+  va_end(ap);
+  return buf;
+}
+
+/// Stable lowercase scheme ids for the one-line spec.
+const char* scheme_id(harness::Scheme s) {
+  switch (s) {
+    case harness::Scheme::kEcmp: return "ecmp";
+    case harness::Scheme::kMptcp: return "mptcp";
+    case harness::Scheme::kPresto: return "presto";
+    case harness::Scheme::kOptimal: return "optimal";
+    case harness::Scheme::kFlowlet: return "flowlet";
+    case harness::Scheme::kPrestoEcmp: return "presto_ecmp";
+    case harness::Scheme::kPerPacket: return "per_packet";
+  }
+  return "?";
+}
+
+bool parse_scheme(const std::string& id, harness::Scheme* out) {
+  for (harness::Scheme s :
+       {harness::Scheme::kEcmp, harness::Scheme::kMptcp,
+        harness::Scheme::kPresto, harness::Scheme::kOptimal,
+        harness::Scheme::kFlowlet, harness::Scheme::kPrestoEcmp,
+        harness::Scheme::kPerPacket}) {
+    if (id == scheme_id(s)) {
+      *out = s;
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Log-uniform integer in [lo, hi].
+std::uint64_t log_uniform(sim::Rng& rng, std::uint64_t lo, std::uint64_t hi) {
+  const double v = static_cast<double>(lo) *
+                   std::pow(static_cast<double>(hi) / static_cast<double>(lo),
+                            rng.uniform());
+  return static_cast<std::uint64_t>(v);
+}
+
+/// Plants a scenario's test-only defect. "eat:N" silently destroys the Nth
+/// data frame serialized anywhere in the fabric — no counter, no telemetry,
+/// no tap — which is exactly the class of accounting bug the conservation
+/// oracle exists to catch.
+void install_bug(harness::Experiment& ex, const std::string& bug) {
+  if (bug.empty()) return;
+  if (bug.rfind("eat:", 0) == 0) {
+    const std::uint64_t target = std::strtoull(bug.c_str() + 4, nullptr, 10);
+    if (target == 0) throw std::invalid_argument("bug eat:N needs N >= 1");
+    auto eaten = std::make_shared<std::uint64_t>(0);
+    net::Topology& topo = ex.topo();
+    for (net::SwitchId s = 0; s < topo.switch_count(); ++s) {
+      net::Switch& sw = topo.get_switch(s);
+      for (std::size_t i = 0; i < sw.port_count(); ++i) {
+        sw.port(static_cast<net::PortId>(i))
+            .set_test_packet_eater([eaten, target](const net::Packet& p) {
+              if (p.payload == 0) return false;
+              return ++*eaten == target;
+            });
+      }
+    }
+    return;
+  }
+  throw std::invalid_argument("unknown scenario bug: " + bug);
+}
+
+void append_list_or_dash(std::string& out, const std::string& list) {
+  out += list.empty() ? "-" : list;
+}
+
+}  // namespace
+
+std::string Scenario::fault_plan() const {
+  std::string plan;
+  for (const std::string& u : fault_units) {
+    if (!plan.empty()) plan += ';';
+    plan += u;
+  }
+  return plan;
+}
+
+std::string Scenario::to_string() const {
+  std::string out = strf(
+      "seed=%" PRIu64
+      " scheme=%s spines=%u leaves=%u hpl=%u gamma=%u buf=%" PRIu64
+      " suspicion=%d cap_us=%" PRId64,
+      seed, scheme_id(scheme), spines, leaves, hosts_per_leaf, gamma,
+      switch_buffer_bytes, edge_suspicion ? 1 : 0,
+      static_cast<std::int64_t>(cap / sim::kMicrosecond));
+  out += " flows=";
+  std::string list;
+  for (const FlowSpec& f : flows) {
+    if (!list.empty()) list += ',';
+    list += strf("%u-%u:%" PRIu64, f.src, f.dst, f.bytes);
+  }
+  append_list_or_dash(out, list);
+  out += " rpcs=";
+  list.clear();
+  for (const RpcSpec& r : rpcs) {
+    if (!list.empty()) list += ',';
+    list += strf("%u-%u:%" PRIu64 "x%u", r.src, r.dst, r.bytes, r.count);
+  }
+  append_list_or_dash(out, list);
+  out += " faults=";
+  if (fault_units.empty()) {
+    out += '-';
+  } else {
+    out += '\'';
+    for (std::size_t i = 0; i < fault_units.size(); ++i) {
+      if (i > 0) out += '|';
+      out += fault_units[i];
+    }
+    out += '\'';
+  }
+  out += " bug=";
+  append_list_or_dash(out, bug);
+  return out;
+}
+
+bool Scenario::parse(const std::string& text, Scenario* out,
+                     std::string* err) {
+  auto fail = [err](const std::string& why) {
+    if (err != nullptr) *err = why;
+    return false;
+  };
+  Scenario sc;
+  sc.flows.clear();
+  std::size_t i = 0;
+  const std::size_t n = text.size();
+  while (i < n) {
+    while (i < n && text[i] == ' ') ++i;
+    if (i >= n) break;
+    const std::size_t eq = text.find('=', i);
+    if (eq == std::string::npos) return fail("token without '=' near: " +
+                                             text.substr(i));
+    const std::string key = text.substr(i, eq - i);
+    std::string value;
+    i = eq + 1;
+    if (i < n && text[i] == '\'') {
+      const std::size_t close = text.find('\'', i + 1);
+      if (close == std::string::npos) return fail("unterminated quote");
+      value = text.substr(i + 1, close - i - 1);
+      i = close + 1;
+    } else {
+      const std::size_t sp = text.find(' ', i);
+      value = text.substr(i, sp == std::string::npos ? std::string::npos
+                                                     : sp - i);
+      i = sp == std::string::npos ? n : sp;
+    }
+
+    auto as_u64 = [&](std::uint64_t* v) {
+      char* end = nullptr;
+      *v = std::strtoull(value.c_str(), &end, 10);
+      return end != nullptr && *end == '\0' && !value.empty();
+    };
+    std::uint64_t u = 0;
+    if (key == "seed") {
+      if (!as_u64(&sc.seed)) return fail("bad seed");
+    } else if (key == "scheme") {
+      if (!parse_scheme(value, &sc.scheme)) return fail("bad scheme: " + value);
+    } else if (key == "spines") {
+      if (!as_u64(&u)) return fail("bad spines");
+      sc.spines = static_cast<std::uint32_t>(u);
+    } else if (key == "leaves") {
+      if (!as_u64(&u)) return fail("bad leaves");
+      sc.leaves = static_cast<std::uint32_t>(u);
+    } else if (key == "hpl") {
+      if (!as_u64(&u)) return fail("bad hpl");
+      sc.hosts_per_leaf = static_cast<std::uint32_t>(u);
+    } else if (key == "gamma") {
+      if (!as_u64(&u)) return fail("bad gamma");
+      sc.gamma = static_cast<std::uint32_t>(u);
+    } else if (key == "buf") {
+      if (!as_u64(&sc.switch_buffer_bytes)) return fail("bad buf");
+    } else if (key == "suspicion") {
+      if (!as_u64(&u)) return fail("bad suspicion");
+      sc.edge_suspicion = u != 0;
+    } else if (key == "cap_us") {
+      if (!as_u64(&u)) return fail("bad cap_us");
+      sc.cap = static_cast<sim::Time>(u) * sim::kMicrosecond;
+    } else if (key == "flows") {
+      if (value != "-") {
+        std::size_t pos = 0;
+        while (pos < value.size()) {
+          FlowSpec f;
+          unsigned src = 0, dst = 0;
+          unsigned long long bytes = 0;
+          int consumed = 0;
+          if (std::sscanf(value.c_str() + pos, "%u-%u:%llu%n", &src, &dst,
+                          &bytes, &consumed) != 3) {
+            return fail("bad flow list: " + value);
+          }
+          f.src = src;
+          f.dst = dst;
+          f.bytes = bytes;
+          sc.flows.push_back(f);
+          pos += static_cast<std::size_t>(consumed);
+          if (pos < value.size() && value[pos] == ',') ++pos;
+        }
+      }
+    } else if (key == "rpcs") {
+      if (value != "-") {
+        std::size_t pos = 0;
+        while (pos < value.size()) {
+          RpcSpec r;
+          unsigned src = 0, dst = 0, count = 0;
+          unsigned long long bytes = 0;
+          int consumed = 0;
+          if (std::sscanf(value.c_str() + pos, "%u-%u:%llux%u%n", &src, &dst,
+                          &bytes, &count, &consumed) != 4) {
+            return fail("bad rpc list: " + value);
+          }
+          r.src = src;
+          r.dst = dst;
+          r.bytes = bytes;
+          r.count = count;
+          sc.rpcs.push_back(r);
+          pos += static_cast<std::size_t>(consumed);
+          if (pos < value.size() && value[pos] == ',') ++pos;
+        }
+      }
+    } else if (key == "faults") {
+      if (value != "-") {
+        std::size_t pos = 0;
+        while (pos <= value.size()) {
+          const std::size_t bar = value.find('|', pos);
+          sc.fault_units.push_back(value.substr(
+              pos, bar == std::string::npos ? std::string::npos : bar - pos));
+          if (bar == std::string::npos) break;
+          pos = bar + 1;
+        }
+      }
+    } else if (key == "bug") {
+      if (value != "-") sc.bug = value;
+    } else {
+      return fail("unknown key: " + key);
+    }
+  }
+  const std::uint32_t hosts = sc.leaves * sc.hosts_per_leaf;
+  for (const FlowSpec& f : sc.flows) {
+    if (f.src >= hosts || f.dst >= hosts || f.src == f.dst) {
+      return fail("flow endpoints out of range");
+    }
+  }
+  for (const RpcSpec& r : sc.rpcs) {
+    if (r.src >= hosts || r.dst >= hosts || r.src == r.dst) {
+      return fail("rpc endpoints out of range");
+    }
+  }
+  *out = sc;
+  return true;
+}
+
+Scenario Scenario::generate(std::uint64_t seed) {
+  sim::Rng rng(seed ^ 0xF022'5EED'0BAD'CAFEULL);
+  Scenario sc;
+  sc.seed = seed;
+
+  switch (rng.below(5)) {
+    case 0: sc.scheme = harness::Scheme::kPresto; break;
+    case 1:
+      sc.scheme = harness::Scheme::kPresto;
+      sc.edge_suspicion = true;
+      break;
+    case 2: sc.scheme = harness::Scheme::kEcmp; break;
+    case 3: sc.scheme = harness::Scheme::kPrestoEcmp; break;
+    default: sc.scheme = harness::Scheme::kFlowlet; break;
+  }
+  sc.spines = 2 + static_cast<std::uint32_t>(rng.below(3));
+  sc.leaves = 2 + static_cast<std::uint32_t>(rng.below(2));
+  sc.hosts_per_leaf = 1 + static_cast<std::uint32_t>(rng.below(3));
+  sc.gamma = 1 + static_cast<std::uint32_t>(rng.below(2));
+  constexpr std::uint64_t kBufChoices[] = {64 * 1024, 200 * 1024, 400 * 1024};
+  sc.switch_buffer_bytes = kBufChoices[rng.below(3)];
+
+  // Cross-leaf flows only: same-leaf traffic never exercises the fabric.
+  const std::uint32_t hosts = sc.leaves * sc.hosts_per_leaf;
+  auto pick_pair = [&](net::HostId* src, net::HostId* dst) {
+    *src = static_cast<net::HostId>(rng.below(hosts));
+    do {
+      *dst = static_cast<net::HostId>(rng.below(hosts));
+    } while (*dst / sc.hosts_per_leaf == *src / sc.hosts_per_leaf);
+  };
+  const std::size_t n_flows = 1 + rng.below(6);
+  for (std::size_t i = 0; i < n_flows; ++i) {
+    FlowSpec f;
+    pick_pair(&f.src, &f.dst);
+    f.bytes = log_uniform(rng, 20 * 1024, 1536 * 1024);
+    sc.flows.push_back(f);
+  }
+  const std::size_t n_rpcs = rng.below(4);
+  for (std::size_t i = 0; i < n_rpcs; ++i) {
+    RpcSpec r;
+    pick_pair(&r.src, &r.dst);
+    r.bytes = log_uniform(rng, 512, 50 * 1024);
+    r.count = 1 + static_cast<std::uint32_t>(rng.below(3));
+    sc.rpcs.push_back(r);
+  }
+
+  // Fault units: each one injects and then fully recovers well before the
+  // cap, so a correct run always drains. Switch ids follow make_clos
+  // numbering (spines first, then leaves).
+  const std::size_t n_faults = rng.below(4);
+  for (std::size_t i = 0; i < n_faults; ++i) {
+    const std::uint32_t leaf_sw =
+        sc.spines + static_cast<std::uint32_t>(rng.below(sc.leaves));
+    const std::uint32_t spine_sw = static_cast<std::uint32_t>(
+        rng.below(sc.spines));
+    const std::uint32_t group =
+        static_cast<std::uint32_t>(rng.below(sc.gamma));
+    const std::uint64_t t0 = 5'000 + rng.below(195'000);         // us
+    const std::uint64_t dur = 20'000 + rng.below(280'000);       // us
+    switch (rng.below(4)) {
+      case 0:
+        sc.fault_units.push_back(strf(
+            "down@%" PRIu64 "us leaf=%u spine=%u group=%u;up@%" PRIu64
+            "us leaf=%u spine=%u group=%u",
+            t0, leaf_sw, spine_sw, group, t0 + dur, leaf_sw, spine_sw,
+            group));
+        break;
+      case 1:
+        sc.fault_units.push_back(strf(
+            "flap@%" PRIu64 "us leaf=%u spine=%u group=%u period=%" PRIu64
+            "us count=%u",
+            t0, leaf_sw, spine_sw, group, 10'000 + rng.below(40'000),
+            static_cast<std::uint32_t>(1 + rng.below(3))));
+        break;
+      case 2:
+        sc.fault_units.push_back(strf(
+            "degrade@%" PRIu64
+            "us leaf=%u spine=%u group=%u loss_bad=%.3f p_gb=0.01 p_bg=0.1 "
+            "corrupt=%.4f;heal@%" PRIu64 "us leaf=%u spine=%u group=%u",
+            t0, leaf_sw, spine_sw, group, 0.1 + 0.3 * rng.uniform(),
+            rng.below(2) != 0 ? 0.001 : 0.0, t0 + dur, leaf_sw, spine_sw,
+            group));
+        break;
+      default:
+        // Fail-stop a spine only: killing a leaf strands its hosts, which
+        // is legitimate but makes every run a slow RTO crawl.
+        sc.fault_units.push_back(
+            strf("switch_down@%" PRIu64 "us switch=%u;switch_up@%" PRIu64
+                 "us switch=%u",
+                 t0, spine_sw, t0 + dur, spine_sw));
+        break;
+    }
+  }
+  return sc;
+}
+
+RunOutcome run_scenario(const Scenario& sc, CheckerOptions opt) {
+  harness::ExperimentConfig cfg;
+  cfg.scheme = sc.scheme;
+  cfg.spines = sc.spines;
+  cfg.leaves = sc.leaves;
+  cfg.hosts_per_leaf = sc.hosts_per_leaf;
+  cfg.gamma = sc.gamma;
+  cfg.switch_buffer_bytes = sc.switch_buffer_bytes;
+  cfg.edge_suspicion = sc.edge_suspicion;
+  cfg.seed = sc.seed;
+  cfg.fault_plan = sc.fault_plan();
+  cfg.fault_seed = sc.seed | 1;  // pinned: shrinking must not reshuffle loss
+
+  harness::Experiment ex(cfg);
+  // Failover bounce-back and reroutes legitimately move a tree's frames
+  // across other spines, so the strict pinning only runs fault-free.
+  opt.strict_tree_spine = opt.strict_tree_spine && sc.fault_units.empty();
+  Checker chk(ex, opt);
+  chk.arm();
+  install_bug(ex, sc.bug);
+
+  std::size_t expected = 0;
+  std::size_t completed = 0;
+  for (const FlowSpec& f : sc.flows) {
+    ++expected;
+    ex.add_elephant(f.src, f.dst, f.bytes,
+                    [&completed](sim::Time) { ++completed; });
+  }
+  for (const RpcSpec& r : sc.rpcs) {
+    workload::RpcChannel& ch = ex.open_rpc(r.src, r.dst);
+    for (std::uint32_t i = 0; i < r.count; ++i) {
+      ++expected;
+      ex.sim().schedule_at(
+          static_cast<sim::Time>(i) * 200 * sim::kMicrosecond,
+          [&ch, &completed, bytes = r.bytes] {
+            ch.issue(bytes, [&completed](sim::Time) { ++completed; });
+          });
+    }
+  }
+
+  ex.sim().run_until(sc.cap);
+  const bool drained = ex.sim().pending() == 0;
+  chk.finish(drained);
+  if (drained && completed != expected) {
+    chk.note(OracleKind::kLiveness,
+             strf("simulation drained but only %zu/%zu transfers completed",
+                  completed, expected));
+  }
+
+  RunOutcome out;
+  out.drained = drained;
+  out.ok = chk.ok();
+  out.total_violations = chk.total_violations();
+  for (const Violation& v : chk.violations()) {
+    out.kind_mask |= 1u << static_cast<unsigned>(v.kind);
+  }
+  if (!chk.violations().empty()) out.first_kind = chk.violations().front().kind;
+  out.report = chk.report();
+  out.frames_delivered = chk.frames_delivered();
+  return out;
+}
+
+}  // namespace presto::check

@@ -1,0 +1,90 @@
+// Seeded fuzz scenarios for the invariant oracles.
+//
+// A Scenario is a small, fully serializable description of one randomized
+// run: topology shape, scheme, workload mix, a fault plan made of
+// *recoverable units* (every injected fault heals before the scenario cap,
+// so a correct simulation always quiesces), and an optional test-only bug
+// hook. `generate(seed)` derives everything deterministically from the seed;
+// `to_string()`/`parse()` round-trip a one-line spec so a failing case can
+// be replayed from the command line verbatim.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "check/oracle.h"
+#include "harness/experiment.h"
+
+namespace presto::check {
+
+struct FlowSpec {
+  net::HostId src = 0;
+  net::HostId dst = 0;
+  std::uint64_t bytes = 0;
+};
+
+struct RpcSpec {
+  net::HostId src = 0;
+  net::HostId dst = 0;
+  std::uint64_t bytes = 0;
+  std::uint32_t count = 1;
+};
+
+struct Scenario {
+  std::uint64_t seed = 1;
+  harness::Scheme scheme = harness::Scheme::kPresto;
+  std::uint32_t spines = 2;
+  std::uint32_t leaves = 2;
+  std::uint32_t hosts_per_leaf = 2;
+  std::uint32_t gamma = 1;
+  std::uint64_t switch_buffer_bytes = 200 * 1024;
+  bool edge_suspicion = false;
+  std::vector<FlowSpec> flows;
+  std::vector<RpcSpec> rpcs;
+  /// Fault-plan statements (FaultPlan grammar). Each element is one
+  /// self-recovering unit — possibly several ';'-joined statements (down
+  /// then up, degrade then heal) — so the shrinker can drop whole units
+  /// without leaving a permanent fault behind.
+  std::vector<std::string> fault_units;
+  sim::Time cap = 20 * sim::kSecond;
+  /// Test-only defect to plant, e.g. "eat:12" destroys the 12th data frame
+  /// serialized anywhere in the fabric without any accounting (the
+  /// conservation oracle's shrinker demo). Empty = healthy simulator.
+  std::string bug;
+
+  /// Joined fault plan as fed to ExperimentConfig::fault_plan.
+  std::string fault_plan() const;
+
+  /// One-line `key=value` spec (quoted where needed); parse() inverts it.
+  std::string to_string() const;
+  static bool parse(const std::string& text, Scenario* out,
+                    std::string* err);
+
+  /// Deterministic scenario from a fuzz seed.
+  static Scenario generate(std::uint64_t seed);
+};
+
+struct RunOutcome {
+  bool ok = true;
+  bool drained = true;
+  std::uint64_t total_violations = 0;
+  /// Bitmask over OracleKind of every recorded violation.
+  std::uint32_t kind_mask = 0;
+  /// Kind of the first recorded violation (valid when !ok).
+  OracleKind first_kind = OracleKind::kConservation;
+  std::string report;
+  std::uint64_t frames_delivered = 0;
+
+  bool has_kind(OracleKind k) const {
+    return (kind_mask & (1u << static_cast<unsigned>(k))) != 0;
+  }
+};
+
+/// Builds the experiment, arms a Checker, plants the bug hook, runs the
+/// workload to quiesce (or the cap), and audits. `opt` selects which
+/// oracles run (strict tree-spine pinning is additionally cleared whenever
+/// the scenario carries fault units).
+RunOutcome run_scenario(const Scenario& sc, CheckerOptions opt = {});
+
+}  // namespace presto::check

@@ -1,0 +1,139 @@
+#include "check/shrink.h"
+
+#include <algorithm>
+
+namespace presto::check {
+namespace {
+
+/// Runs a candidate (within budget) and reports whether it still violates
+/// the target oracle. On success `*good` takes the candidate's outcome.
+bool reproduces(const Scenario& cand, OracleKind kind, std::uint32_t max_runs,
+                std::uint32_t* runs, RunOutcome* good) {
+  if (*runs >= max_runs) return false;
+  ++*runs;
+  RunOutcome o = run_scenario(cand);
+  if (o.ok || !o.has_kind(kind)) return false;
+  *good = std::move(o);
+  return true;
+}
+
+}  // namespace
+
+ShrinkResult shrink(const Scenario& original, OracleKind kind,
+                    const ShrinkOptions& opt) {
+  ShrinkResult res;
+  res.minimal = original;
+
+  // Re-run the original once: the search below only trusts its own runs,
+  // and a non-reproducing original means there is nothing to shrink.
+  if (!reproduces(original, kind, opt.max_runs, &res.runs, &res.outcome)) {
+    res.outcome = run_scenario(original);
+    return res;
+  }
+
+  Scenario cur = original;
+  auto accept = [&](Scenario&& cand, RunOutcome&& out) {
+    cur = std::move(cand);
+    res.outcome = std::move(out);
+    res.shrunk = true;
+    if (opt.on_progress) opt.on_progress(cur, res.runs);
+  };
+
+  bool changed = true;
+  while (changed && res.runs < opt.max_runs) {
+    changed = false;
+
+    // Drop whole flows, RPC batches, and fault units — the big wins first.
+    for (std::size_t i = 0; i < cur.flows.size();) {
+      Scenario cand = cur;
+      cand.flows.erase(cand.flows.begin() + static_cast<std::ptrdiff_t>(i));
+      RunOutcome out;
+      if (reproduces(cand, kind, opt.max_runs, &res.runs, &out)) {
+        accept(std::move(cand), std::move(out));
+        changed = true;
+      } else {
+        ++i;
+      }
+    }
+    for (std::size_t i = 0; i < cur.rpcs.size();) {
+      Scenario cand = cur;
+      cand.rpcs.erase(cand.rpcs.begin() + static_cast<std::ptrdiff_t>(i));
+      RunOutcome out;
+      if (reproduces(cand, kind, opt.max_runs, &res.runs, &out)) {
+        accept(std::move(cand), std::move(out));
+        changed = true;
+      } else {
+        ++i;
+      }
+    }
+    for (std::size_t i = 0; i < cur.fault_units.size();) {
+      Scenario cand = cur;
+      cand.fault_units.erase(cand.fault_units.begin() +
+                             static_cast<std::ptrdiff_t>(i));
+      RunOutcome out;
+      if (reproduces(cand, kind, opt.max_runs, &res.runs, &out)) {
+        accept(std::move(cand), std::move(out));
+        changed = true;
+      } else {
+        ++i;
+      }
+    }
+
+    // Halve flow sizes (repeatedly, down to the floor).
+    for (std::size_t i = 0; i < cur.flows.size();) {
+      if (cur.flows[i].bytes <= opt.min_flow_bytes) {
+        ++i;
+        continue;
+      }
+      Scenario cand = cur;
+      cand.flows[i].bytes =
+          std::max(cand.flows[i].bytes / 2, opt.min_flow_bytes);
+      RunOutcome out;
+      if (reproduces(cand, kind, opt.max_runs, &res.runs, &out)) {
+        accept(std::move(cand), std::move(out));
+        changed = true;  // same index again: keep halving while it works
+      } else {
+        ++i;
+      }
+    }
+
+    // Thin out RPC batches (fewer issues, smaller payloads).
+    for (std::size_t i = 0; i < cur.rpcs.size();) {
+      Scenario cand = cur;
+      RpcSpec& r = cand.rpcs[i];
+      if (r.count > 1) {
+        r.count /= 2;
+      } else if (r.bytes > 512) {
+        r.bytes = std::max<std::uint64_t>(r.bytes / 2, 512);
+      } else {
+        ++i;
+        continue;
+      }
+      RunOutcome out;
+      if (reproduces(cand, kind, opt.max_runs, &res.runs, &out)) {
+        accept(std::move(cand), std::move(out));
+        changed = true;  // same index again
+      } else {
+        ++i;
+      }
+    }
+
+    // Bisect the duration cap (shorter repro = faster replay).
+    while (cur.cap > sim::kSecond && res.runs < opt.max_runs) {
+      Scenario cand = cur;
+      cand.cap /= 2;
+      RunOutcome out;
+      if (reproduces(cand, kind, opt.max_runs, &res.runs, &out)) {
+        accept(std::move(cand), std::move(out));
+        changed = true;
+      } else {
+        break;
+      }
+    }
+  }
+
+  res.minimal = cur;
+  return res;
+}
+
+}  // namespace presto::check

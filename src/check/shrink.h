@@ -1,0 +1,41 @@
+// Automatic reproducer minimization.
+//
+// Given a Scenario whose run violated an oracle, the shrinker greedily
+// searches for a smaller scenario that still violates the *same* oracle
+// kind: dropping flows, RPC batches, and whole fault units, then halving
+// flow sizes and the run cap. Each candidate is re-run from scratch (the
+// whole pipeline is deterministic per Scenario), and accepted only if the
+// violation survives, so the result is a minimal, self-contained one-line
+// reproducer for the CLI.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "check/scenario.h"
+
+namespace presto::check {
+
+struct ShrinkOptions {
+  /// Hard budget of scenario re-executions.
+  std::uint32_t max_runs = 200;
+  /// Flow sizes are not halved below this.
+  std::uint64_t min_flow_bytes = 4 * 1024;
+  /// Progress callback (e.g. the CLI's -v); called after every accepted
+  /// shrink step with the surviving scenario.
+  std::function<void(const Scenario&, std::uint32_t runs)> on_progress;
+};
+
+struct ShrinkResult {
+  Scenario minimal;       ///< Smallest scenario still violating.
+  RunOutcome outcome;     ///< Outcome of `minimal`'s run.
+  std::uint32_t runs = 0; ///< Re-executions spent.
+  bool shrunk = false;    ///< Whether anything got smaller.
+};
+
+/// `kind` is the oracle the reproducer must keep violating (normally the
+/// first kind reported by the original run).
+ShrinkResult shrink(const Scenario& original, OracleKind kind,
+                    const ShrinkOptions& opt = {});
+
+}  // namespace presto::check

@@ -84,6 +84,17 @@ void FlowcellEngine::on_segment(net::Packet& seg) {
       }
     }
     seg.dst_mac = (*sched)[slot];
+    if (dispatch_tap_) {
+      bool all_suspect = true;
+      for (const net::MacAddr l : *sched) {
+        if (!label_suspect(l)) {
+          all_suspect = false;
+          break;
+        }
+      }
+      dispatch_tap_(seg.flow, st.flowcell_id, seg.dst_mac,
+                    label_suspect(seg.dst_mac), all_suspect);
+    }
     trace_dispatch(st, seg);
     note_dispatched_cell(st, st.flowcell_id, seg.seq, seg.dst_mac);
     if (telem_ != nullptr) {

@@ -9,6 +9,7 @@
 
 #include <array>
 #include <cstdint>
+#include <functional>
 #include <unordered_map>
 
 #include "core/label_map.h"
@@ -68,6 +69,17 @@ class FlowcellEngine final : public lb::SenderLb {
 
   /// True if `label` is currently quarantined by the suspicion tracker.
   bool label_suspect(net::MacAddr label) const;
+
+  /// Checker tap observing every end-to-end label dispatch: flow, flowcell
+  /// id, the chosen label, whether that label was quarantined at dispatch
+  /// time, and whether *every* label in the schedule was (the only state in
+  /// which dispatching on a quarantined label is legitimate). Null disables;
+  /// not consulted in per-hop ECMP mode (no label is chosen there).
+  using DispatchTap =
+      std::function<void(const net::FlowKey& flow, std::uint64_t cell,
+                         net::MacAddr label, bool chosen_suspect,
+                         bool all_suspect)>;
+  void set_dispatch_tap(DispatchTap tap) { dispatch_tap_ = std::move(tap); }
 
   /// Supplies the clock used for suspicion quarantine timing and trace
   /// timestamps (null => time 0, i.e. suspicion never expires by itself).
@@ -142,6 +154,7 @@ class FlowcellEngine final : public lb::SenderLb {
   std::uint64_t flowcells_created_ = 0;
   const telemetry::FlowcellProbes* telem_ = nullptr;
   const sim::Simulation* clock_ = nullptr;
+  DispatchTap dispatch_tap_;
 };
 
 }  // namespace presto::core

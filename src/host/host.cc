@@ -152,8 +152,13 @@ void Host::receive(net::Packet p, net::PortId) {
   // cannot drain the ring and arriving frames are lost.
   if (cpu_.backlog() > cfg_.ring_backlog_limit) {
     ++ring_drops_;
+    if (tap_ != nullptr) {
+      tap_->on_drop(net::kHostNodeBit | id_, -1, p,
+                    net::TapDropCause::kHostRing);
+    }
     return;
   }
+  if (tap_ != nullptr) tap_->on_host_rx(id_, p);
   ring_.push_back(std::move(p));
   if (ring_.size() >= cfg_.coalesce_packets) {
     nic_interrupt();

@@ -22,6 +22,7 @@
 #include "net/packet_pool.h"
 #include "net/port.h"
 #include "net/sink.h"
+#include "net/tap.h"
 #include "offload/cpu_model.h"
 #include "offload/gro.h"
 #include "offload/official_gro.h"
@@ -119,6 +120,24 @@ class Host : public net::PacketSink {
   /// Observes every GRO-pushed segment after the CPU stage (metrics).
   void add_segment_tap(SegmentTap tap) { taps_.push_back(std::move(tap)); }
 
+  /// Attaches a checker wire tap (null disables): observes uplink
+  /// enqueue/drops (node = kHostNodeBit | id), frames accepted into the
+  /// receive ring, and ring-overflow drops.
+  void set_tap(net::WireTap* tap) {
+    tap_ = tap;
+    uplink_.set_tap(tap, net::kHostNodeBit | id_, 0);
+  }
+
+  /// Checker access to the TCP endpoints living on this host.
+  template <typename Fn>
+  void for_each_sender(Fn&& fn) {
+    for (auto& [flow, sender] : senders_) fn(*sender);
+  }
+  template <typename Fn>
+  void for_each_receiver(Fn&& fn) {
+    for (auto& [flow, receiver] : receivers_) fn(*receiver);
+  }
+
   /// Entry point for locally generated traffic (TCP senders/receivers call
   /// this; tests may inject templates directly). Applies tx jitter, then the
   /// vSwitch LB policy, TSO, and the uplink queue.
@@ -199,6 +218,7 @@ class Host : public net::PacketSink {
                      net::FlowKeyHash>
       receivers_;
   std::vector<SegmentTap> taps_;
+  net::WireTap* tap_ = nullptr;
 };
 
 }  // namespace presto::host

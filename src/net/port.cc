@@ -9,6 +9,11 @@ void TxPort::enqueue(Packet p) {
       queued_bytes_ + p.buffer_bytes() > cfg_.queue_bytes) {
     ++counters_.dropped_packets;
     counters_.dropped_bytes += p.buffer_bytes();
+    if (tap_ != nullptr) {
+      tap_->on_drop(telem_node_, telem_port_, p,
+                    down_ || peer_ == nullptr ? TapDropCause::kLinkDown
+                                              : TapDropCause::kQueueFull);
+    }
     if (telem_ != nullptr) {
       const bool unusable = down_ || peer_ == nullptr;
       const auto cause = unusable ? telemetry::DropCause::kLinkDown
@@ -30,6 +35,7 @@ void TxPort::enqueue(Packet p) {
   }
   ++counters_.enqueued_packets;
   queued_bytes_ += p.buffer_bytes();
+  if (tap_ != nullptr) tap_->on_port_enqueue(telem_node_, telem_port_, p);
   if (telem_ != nullptr) {
     telem_->enqueued->inc();
     telem_->queue_depth_bytes->add(static_cast<double>(queued_bytes_));
@@ -77,15 +83,43 @@ void TxPort::finish_transmission() {
                               p->buffer_bytes());
     }
   }
-  if (!down_ && peer_ != nullptr && !(loss_ && loss_model_eats(*p))) {
+  if (test_eater_ && test_eater_(*p)) {
+    // Injected test fault: the frame vanishes without any accounting.
+    pool_.release(p);
+  } else if (down_ || peer_ == nullptr) {
+    // The port went down (or was never connected) while this frame sat in
+    // the queue: it is lost at the wire and must be accounted like any
+    // other drop. (An earlier version discarded it silently; the
+    // conservation oracle flags that as unattributed loss.)
+    ++counters_.dropped_packets;
+    counters_.dropped_bytes += p->buffer_bytes();
+    if (tap_ != nullptr) {
+      tap_->on_drop(telem_node_, telem_port_, *p, TapDropCause::kLinkDownTx);
+    }
+    if (telem_ != nullptr) {
+      telem_->drop_link_down->inc();
+      if (telem_->tracer != nullptr) {
+        telem_->tracer->record(
+            sim_.now(), telemetry::EventType::kDrop, telem_node_, telem_port_,
+            static_cast<std::uint64_t>(telemetry::DropCause::kLinkDown),
+            p->buffer_bytes());
+      }
+      if (telem_->spans != nullptr && p->span_id != 0) {
+        telem_->spans->annotate(p->span_id, telemetry::SpanEventKind::kDrop,
+                                sim_.now(), telem_node_, telem_port_, p->seq,
+                                p->buffer_bytes());
+      }
+    }
+    pool_.release(p);
+  } else if (loss_ && loss_model_eats(*p)) {
+    pool_.release(p);
+  } else {
     // Propagate to the far end; the frame rides in its pooled slot, so the
     // event capture is 16 bytes and the slot is recycled on delivery.
     sim_.schedule(cfg_.propagation, [this, p] {
       peer_->receive(std::move(*p), peer_in_port_);
       pool_.release(p);
     });
-  } else {
-    pool_.release(p);
   }
   if (!queue_.empty()) {
     start_transmission();
@@ -111,6 +145,10 @@ bool TxPort::loss_model_eats(const Packet& p) {
     ++counters_.loss_model_drops;
   } else {
     ++counters_.corrupt_drops;
+  }
+  if (tap_ != nullptr) {
+    tap_->on_drop(telem_node_, telem_port_, p,
+                  lost ? TapDropCause::kLossModel : TapDropCause::kCorrupt);
   }
   if (telem_ != nullptr) {
     const auto cause = lost ? telemetry::DropCause::kLossModel

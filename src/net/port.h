@@ -8,11 +8,13 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <optional>
 
 #include "net/packet.h"
 #include "net/packet_pool.h"
 #include "net/sink.h"
+#include "net/tap.h"
 #include "sim/rng.h"
 #include "sim/simulation.h"
 #include "telemetry/probes.h"
@@ -105,6 +107,23 @@ class TxPort {
     telem_port_ = port;
   }
 
+  /// Attaches a checker wire tap (null disables). Shares the telemetry
+  /// node/port labels, so call after (or instead of) attach_telemetry with
+  /// the same identifiers.
+  void set_tap(WireTap* tap, std::uint32_t node, std::int32_t port) {
+    tap_ = tap;
+    telem_node_ = node;
+    telem_port_ = port;
+  }
+
+  /// Test-only fault: when set, a frame for which the hook returns true is
+  /// silently destroyed at serialization time — no counters, no telemetry,
+  /// no tap. This deliberately violates byte conservation; the shrinker
+  /// demo uses it to prove the oracle catches unattributed loss.
+  void set_test_packet_eater(std::function<bool(const Packet&)> eater) {
+    test_eater_ = std::move(eater);
+  }
+
  private:
   struct DegradedState {
     LossModel model;
@@ -137,6 +156,8 @@ class TxPort {
   const telemetry::PortProbes* telem_ = nullptr;
   std::uint32_t telem_node_ = 0;
   std::int32_t telem_port_ = -1;
+  WireTap* tap_ = nullptr;
+  std::function<bool(const Packet&)> test_eater_;
 };
 
 }  // namespace presto::net

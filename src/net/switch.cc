@@ -3,11 +3,14 @@
 namespace presto::net {
 
 void Switch::receive(Packet p, PortId in_port) {
-  (void)in_port;
+  if (tap_ != nullptr) tap_->on_switch_rx(id_, in_port, p);
   PortId out = resolve(p);
   if (out != kInvalidPort) out = apply_failover(out);
   if (out == kInvalidPort) {
     ++no_route_drops_;
+    if (tap_ != nullptr) {
+      tap_->on_drop(id_, in_port, p, TapDropCause::kNoRoute);
+    }
     if (telem_ != nullptr) {
       telem_->drop_no_route->inc();
       if (telem_->tracer != nullptr) {

@@ -86,6 +86,15 @@ class Switch : public PacketSink {
     }
   }
 
+  /// Attaches a checker wire tap to the switch and every output port
+  /// (null disables). Call after all ports exist.
+  void set_tap(WireTap* tap) {
+    tap_ = tap;
+    for (std::size_t i = 0; i < ports_.size(); ++i) {
+      ports_[i]->set_tap(tap, id_, static_cast<std::int32_t>(i));
+    }
+  }
+
  private:
   PortId resolve(const Packet& p) const;
   PortId apply_failover(PortId out) const;
@@ -100,6 +109,7 @@ class Switch : public PacketSink {
   std::unordered_map<PortId, PortId> failover_;
   std::uint64_t no_route_drops_ = 0;
   const telemetry::SwitchProbes* telem_ = nullptr;
+  WireTap* tap_ = nullptr;
 };
 
 }  // namespace presto::net

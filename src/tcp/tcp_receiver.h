@@ -47,6 +47,10 @@ class TcpReceiver {
 
   std::uint64_t delivered() const { return rcv_nxt_; }
   const TcpReceiverStats& stats() const { return stats_; }
+  /// Out-of-order store (checker access: every range must sit strictly
+  /// above the in-order frontier).
+  const RangeSet& out_of_order() const { return ooo_; }
+  const net::FlowKey& flow() const { return data_flow_; }
 
  private:
   void send_ack(const offload::Segment& trigger);

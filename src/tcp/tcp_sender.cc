@@ -112,6 +112,10 @@ void TcpSender::on_ack_packet(const net::Packet& ack) {
       fack_ = std::max(fack_, b.end);
     }
   }
+  // A reordered stale ACK can carry SACK blocks below the current
+  // cumulative-ACK point; retire them immediately (no decision reads bytes
+  // below snd_una, so this only keeps the scoreboard canonical).
+  sacked_.trim_below(snd_una_);
   if (episode_open_ && episode_retx_bytes_ > 0 &&
       episode_dsack_bytes_ >= episode_retx_bytes_) {
     // Every retransmitted byte came back as a duplicate: the "loss" was
@@ -224,6 +228,55 @@ void TcpSender::arm_rto() {
   rto_armed_ = true;
   const std::uint64_t generation = ++rto_generation_;
   sim_.schedule(rto_, [this, generation] { on_rto(generation); });
+}
+
+bool TcpSender::check_invariants(std::string* why) const {
+  bool ok = true;
+  const auto fail = [&](const std::string& msg) {
+    ok = false;
+    if (why != nullptr) {
+      *why += "tcp-sender ";
+      *why += std::to_string(flow_.src_host) + ":" +
+              std::to_string(flow_.src_port) + "->" +
+              std::to_string(flow_.dst_host) + ":" +
+              std::to_string(flow_.dst_port) + ": " + msg + "\n";
+    }
+  };
+  // Sequence-space ordering: una <= nxt <= high <= stream end. snd_nxt
+  // rewinds on RTO but never below snd_una; snd_high never rewinds.
+  if (snd_una_ > snd_nxt_) fail("snd_una > snd_nxt");
+  if (snd_nxt_ > snd_high_) fail("snd_nxt > snd_high");
+  if (snd_high_ > stream_end_) fail("snd_high > stream_end");
+  // SACK scoreboard lives inside the outstanding window; anything below
+  // snd_una must have been trimmed, anything above snd_nxt never inserted.
+  const auto ranges = sacked_.snapshot();
+  if (!ranges.empty()) {
+    if (ranges.front().first < snd_una_) fail("SACK range below snd_una");
+    if (ranges.back().second > snd_nxt_) fail("SACK range above snd_nxt");
+  }
+  if (fack_ > snd_nxt_) fail("fack above snd_nxt");
+  if (in_recovery_) {
+    if (snd_una_ >= recover_) fail("in recovery with snd_una >= recover");
+    if (recover_ > snd_high_) fail("recover above snd_high");
+  }
+  // Congestion state: bounds enforced by every CC implementation.
+  const double mss = static_cast<double>(cfg_.cc_cfg.mss);
+  if (cc_->cwnd_bytes() < mss - 0.5) fail("cwnd below one MSS");
+  if (cc_->cwnd_bytes() > cfg_.cc_cfg.max_cwnd_bytes + 0.5) {
+    fail("cwnd above max_cwnd_bytes");
+  }
+  if (cc_->ssthresh_bytes() < 2.0 * mss - 0.5) {
+    fail("ssthresh below two MSS");
+  }
+  if (rto_ < cfg_.min_rto || rto_ > cfg_.max_rto) {
+    fail("RTO outside [min_rto, max_rto]");
+  }
+  // A sender with nothing outstanding must have an empty scoreboard
+  // (otherwise the pipe computation stays inflated and the flow can stall).
+  if (snd_una_ == snd_nxt_ && !ranges.empty()) {
+    fail("idle sender with non-empty SACK scoreboard");
+  }
+  return ok;
 }
 
 void TcpSender::on_rto(std::uint64_t generation) {

@@ -13,6 +13,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <string>
 
 #include "net/packet.h"
 #include "sim/simulation.h"
@@ -89,6 +90,13 @@ class TcpSender {
   double cwnd_bytes() const { return cc_->cwnd_bytes(); }
   sim::Time srtt() const { return srtt_; }
   const TcpSenderStats& stats() const { return stats_; }
+
+  /// Validates the sequence-space and congestion-state invariants this
+  /// sender must obey at every instant (snd ordering, SACK scoreboard
+  /// bounds, FACK position, recovery window, cwnd/ssthresh/RTO ranges).
+  /// Returns true when consistent; otherwise appends one line per broken
+  /// invariant to `*why` (when non-null). Used by the check subsystem.
+  bool check_invariants(std::string* why) const;
 
  private:
   void try_send();

@@ -10,6 +10,7 @@
 #include "lb/ecmp_lb.h"
 #include "lb/flowlet_lb.h"
 #include "lb/per_packet_lb.h"
+#include "sim/rng.h"
 #include "sim/simulation.h"
 
 namespace presto::core {
@@ -259,6 +260,103 @@ TEST(LabelMap, VersionBumpsOnUpdate) {
   EXPECT_EQ(map.schedule(2), nullptr);
   map.set_schedule(1, {});
   EXPECT_EQ(map.schedule(1), nullptr);  // empty = unmanaged
+}
+
+// Property test for the edge-suspicion quarantine state machine: random
+// interleavings of dispatches, loss strikes (fast-retx and RTO), DSACK
+// exonerations, and clock advances must (a) never deadlock steering — every
+// segment gets a schedule label, and a quarantined label is only chosen when
+// the whole schedule is quarantined — and (b) never leave a label
+// permanently quarantined: once signals stop, every quarantine expires
+// within `suspicion_max_hold` and round robin reaches all labels again.
+TEST(FlowcellEngineQuarantine, RandomSignalsNeverDeadlockOrStickForever) {
+  constexpr std::uint32_t kTrees = 4;
+  for (std::uint64_t trial = 1; trial <= 24; ++trial) {
+    SCOPED_TRACE(testing::Message() << "trial seed " << trial);
+    sim::Simulation sim;  // event-free: run_until() just advances the clock
+    LabelMap map = make_labels(1, kTrees);
+    FlowcellConfig cfg;
+    cfg.path_suspicion = true;
+    FlowcellEngine lb(map, cfg);
+    lb.set_clock(&sim);
+
+    std::set<net::MacAddr> schedule;
+    for (std::uint32_t t = 0; t < kTrees; ++t) {
+      schedule.insert(net::shadow_mac(1, t));
+    }
+    auto all_suspect_now = [&] {
+      for (net::MacAddr label : schedule) {
+        if (!lb.label_suspect(label)) return false;
+      }
+      return true;
+    };
+
+    std::uint64_t tap_dispatches = 0;
+    lb.set_dispatch_tap([&](const net::FlowKey&, std::uint64_t,
+                            net::MacAddr label, bool chosen_suspect,
+                            bool all_suspect) {
+      ++tap_dispatches;
+      EXPECT_TRUE(schedule.count(label)) << "label off the schedule";
+      EXPECT_TRUE(!chosen_suspect || all_suspect)
+          << "steered onto a quarantined label while healthy ones existed";
+    });
+
+    sim::Rng rng(trial * 0x9E3779B97F4A7C15ULL + 1);
+    const net::FlowKey flow{0, 1, 10000, 80};
+    std::uint64_t sent = 0;
+    sim::Time t = 0;
+    std::uint64_t dispatches = 0;
+    for (int step = 0; step < 400; ++step) {
+      t += rng.below(3 * sim::kMillisecond);
+      sim.run_until(t);
+      switch (rng.below(6)) {
+        case 0:
+        case 1:
+        case 2: {  // dispatch one full flowcell
+          net::Packet p = seg(net::kMaxTsoBytes);
+          p.seq = sent;
+          sent += net::kMaxTsoBytes;
+          const bool all_before = all_suspect_now();
+          lb.on_segment(p);
+          ++dispatches;
+          ASSERT_TRUE(schedule.count(p.dst_mac))
+              << "dispatch stalled / stamped an off-schedule label";
+          if (!all_before) {
+            EXPECT_FALSE(lb.label_suspect(p.dst_mac));
+          }
+          break;
+        }
+        case 3:  // fast-retransmit strike on a random recent byte
+          lb.on_loss_signal(flow, sent > 0 ? rng.below(sent) : 0, false);
+          break;
+        case 4:  // RTO strike (quarantines immediately, 4x hold)
+          lb.on_loss_signal(flow, sent > 0 ? rng.below(sent) : 0, true);
+          break;
+        case 5:  // DSACK exoneration
+          lb.on_recovery_signal(flow);
+          break;
+      }
+    }
+    EXPECT_EQ(tap_dispatches, dispatches);
+
+    // Quiet period: longer than the worst-case escalated hold. Everything
+    // must come back, no matter what the random history looked like.
+    t += cfg.suspicion_max_hold + 4 * cfg.suspicion_hold +
+         sim::kMillisecond;
+    sim.run_until(t);
+    for (net::MacAddr label : schedule) {
+      EXPECT_FALSE(lb.label_suspect(label)) << "label stuck in quarantine";
+    }
+    std::set<net::MacAddr> used;
+    for (std::uint32_t i = 0; i < kTrees; ++i) {
+      net::Packet p = seg(net::kMaxTsoBytes);
+      p.seq = sent;
+      sent += net::kMaxTsoBytes;
+      lb.on_segment(p);
+      used.insert(p.dst_mac);
+    }
+    EXPECT_EQ(used.size(), kTrees) << "round robin no longer covers labels";
+  }
 }
 
 }  // namespace

@@ -1,0 +1,26 @@
+// Tier-2 fuzz smoke: the first block of generated scenarios must run clean
+// with every invariant oracle armed. CI's dedicated fuzz-smoke job covers
+// seeds 0:500 under ASan via tools/fuzz_sim; this in-suite slice keeps a
+// plain `ctest -L tier2` honest without the standalone binary.
+#include <gtest/gtest.h>
+
+#include "check/scenario.h"
+
+namespace presto::check {
+namespace {
+
+TEST(FuzzSmoke, GeneratedScenariosRunCleanWithAllOracles) {
+  std::uint64_t frames = 0;
+  for (std::uint64_t seed = 0; seed < 60; ++seed) {
+    Scenario sc = Scenario::generate(seed);
+    RunOutcome out = run_scenario(sc);
+    EXPECT_TRUE(out.ok) << "seed " << seed << " (" << sc.to_string()
+                        << "):\n"
+                        << out.report;
+    frames += out.frames_delivered;
+  }
+  EXPECT_GT(frames, 10'000u) << "scenarios barely moved any traffic";
+}
+
+}  // namespace
+}  // namespace presto::check

@@ -1,0 +1,33 @@
+// Golden determinism digests for the trace-driven (Table 1) and mice-FCT
+// (Figure 16) workloads — tier-2: heavier than the unit suite, so they run
+// under `ctest -L tier2`. Like the fig07/fig19 goldens in
+// integration_test.cc, these lock RNG draw order, event ordering, and
+// sample streams bit-for-bit; any intentional behavior change must re-pin
+// the digests and say why in the commit.
+#include <gtest/gtest.h>
+
+#include "golden_util.h"
+
+namespace presto::harness {
+namespace {
+
+TEST(GoldenDeterminism, Table1TraceWorkloadDigestIsLocked) {
+  const RunResult r = presto::testing::golden_table1_run();
+  EXPECT_GT(r.fct_ms.count(), 0u) << "no mice completed - workload broken";
+  EXPECT_EQ(r.executed_events, 81055u);
+  EXPECT_EQ(presto::testing::digest(r), 0xb984e599c63be0bcULL)
+      << "canonical form:\n"
+      << presto::testing::canonical(r).substr(0, 2000);
+}
+
+TEST(GoldenDeterminism, Fig16MiceFctDigestIsLocked) {
+  const RunResult r = presto::testing::golden_fig16_run();
+  EXPECT_GT(r.fct_ms.count(), 0u) << "no mice completed - workload broken";
+  EXPECT_EQ(r.executed_events, 4212120u);
+  EXPECT_EQ(presto::testing::digest(r), 0x4c483f8b17951f4bULL)
+      << "canonical form:\n"
+      << presto::testing::canonical(r).substr(0, 2000);
+}
+
+}  // namespace
+}  // namespace presto::harness

@@ -228,6 +228,142 @@ TEST_F(PrestoGroTest, SegmentsNeverExceedTsoCap) {
   for (const Segment& s : pushed_) EXPECT_LE(s.bytes(), 65536u);
 }
 
+TEST_F(PrestoGroTest, SameOffsetsLossVsReorderTakeDifferentPaths) {
+  // The same byte offsets with the same gap — [0, 1448) present, [1448,
+  // 2896) missing, [2896, 4344) arriving — classify differently depending
+  // only on the flowcell tag of the arriving packet. In-cell gap: the
+  // packets shared a path, so the gap is loss and everything is pushed at
+  // once. Boundary gap: the new flowcell took another path, so the gap may
+  // be reordering and the segment is held.
+  gro_->on_packet(pkt(0, 1448, 1), 0);
+  gro_->on_packet(pkt(2896, 1448, 1), 1);  // same flowcell
+  gro_->flush(1);
+  EXPECT_EQ(pushed_.size(), 2u);
+  EXPECT_FALSE(gro_->has_held_segments());
+  EXPECT_GE(gro_->push_stats().same_flowcell, 1u);
+  EXPECT_EQ(gro_->push_stats().held, 0u);
+
+  reset({});
+  gro_->on_packet(pkt(0, 1448, 1), 0);
+  gro_->on_packet(pkt(2896, 1448, 2), 1);  // next flowcell, same offsets
+  gro_->flush(1);
+  EXPECT_EQ(pushed_.size(), 1u);
+  EXPECT_TRUE(gro_->has_held_segments());
+  EXPECT_GE(gro_->push_stats().held, 1u);
+  EXPECT_EQ(gro_->push_stats().timeout, 0u);
+}
+
+TEST_F(PrestoGroTest, InCellLossLeavesReorderEwmaUntouched) {
+  // Loss classification must not pollute the reordering-duration estimate:
+  // only boundary holds that later fill feed the EWMA.
+  PrestoGroConfig cfg;
+  reset(cfg);
+  gro_->on_packet(pkt(0, 1448, 1), 0);
+  gro_->on_packet(pkt(2896, 1448, 1), 1);
+  gro_->flush(1);
+  EXPECT_EQ(gro_->ewma_samples(), 0u);
+  EXPECT_EQ(gro_->ewma_for(pkt(0, 1, 1).flow), cfg.initial_ewma);
+}
+
+TEST_F(PrestoGroTest, AlphaScalesTheHoldDeadline) {
+  for (const double alpha : {1.0, 4.0}) {
+    PrestoGroConfig cfg;
+    cfg.alpha = alpha;
+    cfg.initial_ewma = 100 * sim::kMicrosecond;
+    reset(cfg);
+    gro_->on_packet(pkt(0, 1448, 1), 0);
+    gro_->flush(0);
+    gro_->on_packet(pkt(2896, 1448, 2), 0);
+    gro_->flush(0);
+    ASSERT_TRUE(gro_->has_held_segments()) << "alpha=" << alpha;
+    const sim::Time deadline =
+        static_cast<sim::Time>(alpha * 100 * sim::kMicrosecond);
+    // Just before alpha * EWMA: still held (the beta extension has already
+    // lapsed — last merge was at t=0).
+    gro_->flush(deadline - 20 * sim::kMicrosecond);
+    EXPECT_TRUE(gro_->has_held_segments()) << "alpha=" << alpha;
+    gro_->flush(deadline + 20 * sim::kMicrosecond);
+    EXPECT_FALSE(gro_->has_held_segments()) << "alpha=" << alpha;
+    EXPECT_EQ(gro_->push_stats().timeout, 1u) << "alpha=" << alpha;
+  }
+}
+
+TEST_F(PrestoGroTest, BetaHoldExpiresOnceMergesStop) {
+  // The beta rule extends a hold past the alpha deadline while the segment
+  // keeps merging — but once merges stop, the segment must drain at
+  // last_merge + EWMA / beta rather than being held forever.
+  PrestoGroConfig cfg;
+  cfg.initial_ewma = 100 * sim::kMicrosecond;
+  reset(cfg);
+  gro_->on_packet(pkt(0, 1448, 1), 0);
+  gro_->flush(1);
+  gro_->on_packet(pkt(2896, 1448, 2), 10);
+  gro_->flush(10);
+  // Merge right as the alpha deadline (10 + 200 us) lapses: beta holds.
+  const sim::Time t1 = 10 + 220 * sim::kMicrosecond;
+  gro_->on_packet(pkt(4344, 1448, 2), t1);
+  gro_->flush(t1 + 1);
+  ASSERT_TRUE(gro_->has_held_segments());
+  // EWMA / beta = 50 us after the last merge both conditions fail.
+  gro_->flush(t1 + 60 * sim::kMicrosecond);
+  EXPECT_FALSE(gro_->has_held_segments());
+  ASSERT_EQ(pushed_.size(), 2u);
+  EXPECT_EQ(pushed_[1].start_seq, 2896u);
+  EXPECT_EQ(pushed_[1].end_seq, 5792u);  // both merged packets drained
+}
+
+TEST_F(PrestoGroTest, EwmaNeverDecaysBelowFloor) {
+  PrestoGroConfig cfg;
+  reset(cfg);
+  const net::FlowKey flow = pkt(0, 1, 1).flow;
+  // Hundreds of instantly-filled boundary gaps: each reorder sample is ~0,
+  // clamped up to min_ewma, so the estimate converges onto the floor and
+  // never below it (a hair-trigger timeout would misfire constantly).
+  sim::Time t = 0;
+  for (int i = 0; i < 200; ++i) {
+    const std::uint64_t base = static_cast<std::uint64_t>(i) * 4344;
+    const std::uint64_t cell_a = 2 * static_cast<std::uint64_t>(i) + 1;
+    gro_->on_packet(pkt(base, 1448, cell_a), t);
+    gro_->on_packet(pkt(base + 2896, 1448, cell_a + 1), t);
+    gro_->flush(t);  // boundary gap: held
+    gro_->on_packet(pkt(base + 1448, 1448, cell_a), t);
+    gro_->flush(t);  // gap filled instantly: sample ~0, clamped
+    t += sim::kMillisecond;
+  }
+  EXPECT_FALSE(gro_->has_held_segments());
+  EXPECT_GE(gro_->ewma_for(flow), cfg.min_ewma);
+  EXPECT_LE(gro_->ewma_for(flow), cfg.min_ewma + 10 * sim::kMicrosecond);
+}
+
+TEST_F(PrestoGroTest, MisfireFeedbackSaturatesAtEwmaCeiling) {
+  PrestoGroConfig cfg;
+  reset(cfg);
+  const net::FlowKey flow = pkt(0, 1, 1).flow;
+  // Repeated pathological reordering: every hold times out, then the
+  // "lost" bytes show up ~4.8 ms late (inside the misfire window). The
+  // feedback samples are clamped to max_ewma, so the learned timeout grows
+  // to the ceiling and no further — loss recovery stays bounded.
+  sim::Time t = 0;
+  for (int i = 0; i < 15; ++i) {
+    const std::uint64_t base = static_cast<std::uint64_t>(i) * 4344;
+    const std::uint64_t cell_a = 2 * static_cast<std::uint64_t>(i) + 1;
+    gro_->on_packet(pkt(base, 1448, cell_a), t);
+    gro_->flush(t);
+    gro_->on_packet(pkt(base + 2896, 1448, cell_a + 1), t);
+    gro_->flush(t);  // held
+    // Past alpha * max_ewma (4 ms): guaranteed timeout.
+    gro_->flush(t + 4500 * sim::kMicrosecond);
+    EXPECT_FALSE(gro_->has_held_segments());
+    // The gap fills late, with the now-stale flowcell id.
+    gro_->on_packet(pkt(base + 1448, 1448, cell_a),
+                    t + 4800 * sim::kMicrosecond);
+    gro_->flush(t + 4800 * sim::kMicrosecond);
+    t += 10 * sim::kMillisecond;
+  }
+  EXPECT_LE(gro_->ewma_for(flow), cfg.max_ewma);
+  EXPECT_GE(gro_->ewma_for(flow), (9 * cfg.max_ewma) / 10);
+}
+
 TEST_F(PrestoGroTest, MultipleFlowsIndependentState) {
   net::Packet a = pkt(0, 1448, 1);
   net::Packet b = pkt(0, 1448, 1);

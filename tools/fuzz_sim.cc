@@ -1,0 +1,208 @@
+// Seeded scenario fuzzer: random topologies/workloads/fault plans run with
+// every invariant oracle armed; the first violation is automatically shrunk
+// to a minimal one-line reproducer.
+//
+// Usage:
+//   fuzz_sim --seed-range 0:500 --check all           # fuzz a seed range
+//   fuzz_sim --seed 1234                              # one seed
+//   fuzz_sim --replay 'seed=12 scheme=presto ...'     # re-run a repro spec
+//   fuzz_sim --bug eat:40                             # plant a test defect
+//   fuzz_sim ... --repro-out repro.txt                # save the minimized
+//                                                     # spec + command
+//   fuzz_sim ... --no-shrink -v
+//
+// Exit codes: 0 = no violations, 1 = violation found, 2 = usage/config.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <exception>
+#include <fstream>
+#include <string>
+
+#include "check/scenario.h"
+#include "check/shrink.h"
+
+namespace {
+
+using presto::check::CheckerOptions;
+using presto::check::OracleKind;
+using presto::check::RunOutcome;
+using presto::check::Scenario;
+
+struct Args {
+  std::uint64_t seed_lo = 0;
+  std::uint64_t seed_hi = 0;
+  bool have_range = false;
+  std::string replay;
+  std::string bug;
+  std::string check = "all";
+  std::string repro_out;
+  bool no_shrink = false;
+  bool verbose = false;
+};
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--seed N | --seed-range A:B | --replay 'spec']\n"
+               "          [--check all|conservation,tcp,gro,topology]\n"
+               "          [--bug eat:N] [--repro-out PATH] [--no-shrink] "
+               "[-v]\n",
+               argv0);
+  return 2;
+}
+
+bool parse_check(const std::string& spec, CheckerOptions* opt) {
+  if (spec == "all") return true;
+  opt->conservation = opt->tcp = opt->gro = opt->topology = false;
+  std::size_t pos = 0;
+  while (pos <= spec.size()) {
+    const std::size_t comma = spec.find(',', pos);
+    const std::string item = spec.substr(
+        pos, comma == std::string::npos ? std::string::npos : comma - pos);
+    if (item == "conservation") opt->conservation = true;
+    else if (item == "tcp") opt->tcp = true;
+    else if (item == "gro") opt->gro = true;
+    else if (item == "topology") opt->topology = true;
+    else return false;
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return true;
+}
+
+/// Prints the violation, shrinks (unless disabled), and emits the repro.
+int handle_violation(const Scenario& sc, const RunOutcome& out,
+                     const Args& args) {
+  std::printf("VIOLATION (seed %llu, %llu total):\n%s",
+              static_cast<unsigned long long>(sc.seed),
+              static_cast<unsigned long long>(out.total_violations),
+              out.report.c_str());
+
+  Scenario minimal = sc;
+  RunOutcome final_out = out;
+  if (!args.no_shrink) {
+    presto::check::ShrinkOptions sopt;
+    if (args.verbose) {
+      sopt.on_progress = [](const Scenario& s, std::uint32_t runs) {
+        std::printf("  shrink (%u runs): %s\n", runs, s.to_string().c_str());
+      };
+    }
+    const auto res = presto::check::shrink(sc, out.first_kind, sopt);
+    minimal = res.minimal;
+    final_out = res.outcome;
+    std::printf("shrunk in %u runs: %zu flows, %zu rpcs, %zu fault units\n",
+                res.runs, minimal.flows.size(), minimal.rpcs.size(),
+                minimal.fault_units.size());
+  }
+
+  const std::string spec = minimal.to_string();
+  const std::string cmd = "fuzz_sim --replay '" + spec + "' --check all";
+  std::printf("minimal reproducer:\n  %s\nreplay with:\n  %s\n", spec.c_str(),
+              cmd.c_str());
+  std::printf("minimal run report:\n%s", final_out.report.c_str());
+  if (!args.repro_out.empty()) {
+    std::ofstream f(args.repro_out);
+    f << spec << '\n' << cmd << '\n' << final_out.report;
+    std::printf("repro written to %s\n", args.repro_out.c_str());
+  }
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (a == "--seed") {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      args.seed_lo = std::strtoull(v, nullptr, 10);
+      args.seed_hi = args.seed_lo + 1;
+      args.have_range = true;
+    } else if (a == "--seed-range") {
+      const char* v = next();
+      const char* colon = v != nullptr ? std::strchr(v, ':') : nullptr;
+      if (colon == nullptr) return usage(argv[0]);
+      args.seed_lo = std::strtoull(v, nullptr, 10);
+      args.seed_hi = std::strtoull(colon + 1, nullptr, 10);
+      args.have_range = true;
+    } else if (a == "--replay") {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      args.replay = v;
+    } else if (a == "--check") {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      args.check = v;
+    } else if (a == "--bug") {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      args.bug = v;
+    } else if (a == "--repro-out") {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      args.repro_out = v;
+    } else if (a == "--no-shrink") {
+      args.no_shrink = true;
+    } else if (a == "-v" || a == "--verbose") {
+      args.verbose = true;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (args.replay.empty() && !args.have_range) return usage(argv[0]);
+
+  CheckerOptions copt;
+  if (!parse_check(args.check, &copt)) {
+    std::fprintf(stderr, "bad --check spec: %s\n", args.check.c_str());
+    return 2;
+  }
+
+  try {
+    if (!args.replay.empty()) {
+      Scenario sc;
+      std::string err;
+      if (!Scenario::parse(args.replay, &sc, &err)) {
+        std::fprintf(stderr, "bad --replay spec: %s\n", err.c_str());
+        return 2;
+      }
+      if (!args.bug.empty()) sc.bug = args.bug;
+      const RunOutcome out = presto::check::run_scenario(sc, copt);
+      if (!out.ok) return handle_violation(sc, out, args);
+      std::printf("replay clean: %llu frames delivered, drained=%d\n",
+                  static_cast<unsigned long long>(out.frames_delivered),
+                  out.drained ? 1 : 0);
+      return 0;
+    }
+
+    std::uint64_t frames = 0;
+    for (std::uint64_t seed = args.seed_lo; seed < args.seed_hi; ++seed) {
+      Scenario sc = Scenario::generate(seed);
+      if (!args.bug.empty()) sc.bug = args.bug;
+      const RunOutcome out = presto::check::run_scenario(sc, copt);
+      frames += out.frames_delivered;
+      if (args.verbose) {
+        std::printf("seed %llu: %llu frames, drained=%d\n",
+                    static_cast<unsigned long long>(seed),
+                    static_cast<unsigned long long>(out.frames_delivered),
+                    out.drained ? 1 : 0);
+      } else if ((seed - args.seed_lo + 1) % 50 == 0) {
+        std::printf("... %llu scenarios clean\n",
+                    static_cast<unsigned long long>(seed - args.seed_lo + 1));
+        std::fflush(stdout);
+      }
+      if (!out.ok) return handle_violation(sc, out, args);
+    }
+    std::printf("%llu scenarios, 0 violations (%llu frames delivered)\n",
+                static_cast<unsigned long long>(args.seed_hi - args.seed_lo),
+                static_cast<unsigned long long>(frames));
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+}
