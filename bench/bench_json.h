@@ -21,7 +21,7 @@
 #include <vector>
 
 #include "harness/sweep.h"
-#include "stats/samples.h"
+#include "stats/ddsketch.h"
 #include "telemetry/json.h"
 
 namespace presto::bench {
@@ -109,8 +109,8 @@ class JsonReporter {
     double fairness = 0;
     double loss_pct = 0;
     std::uint64_t mice_timeouts = 0;
-    stats::Samples rtt_ms;
-    stats::Samples fct_ms;
+    stats::DDSketch rtt_ms;
+    stats::DDSketch fct_ms;
     telemetry::Snapshot telemetry;
   };
 
@@ -150,7 +150,7 @@ class JsonReporter {
   }
 
   static void write_samples(telemetry::JsonWriter& w,
-                            const stats::Samples& s) {
+                            const stats::DDSketch& s) {
     w.begin_object();
     w.key("count");
     w.value(static_cast<std::uint64_t>(s.count()));

@@ -18,7 +18,7 @@
 #include "bench_json.h"
 #include "harness/runners.h"
 #include "harness/sweep.h"
-#include "stats/samples.h"
+#include "stats/ddsketch.h"
 
 namespace presto::bench {
 
@@ -199,11 +199,11 @@ inline auto stride_factory(std::uint32_t n, std::uint32_t k) {
   return [n, k](std::uint64_t) { return workload::stride_pairs(n, k); };
 }
 
-/// Prints a short CDF table (the paper's CDFs) for several labelled sample
-/// sets side by side.
+/// Prints a short CDF table (the paper's CDFs) for several labelled
+/// percentile sketches side by side.
 inline void print_cdf_table(
     const std::string& title, const std::string& unit,
-    const std::vector<std::pair<std::string, const stats::Samples*>>& series) {
+    const std::vector<std::pair<std::string, const stats::DDSketch*>>& series) {
   std::printf("\n%s (%s; CDF percentiles)\n", title.c_str(), unit.c_str());
   std::printf("%-10s", "pct");
   for (const auto& [name, _] : series) std::printf(" %12s", name.c_str());
@@ -217,7 +217,7 @@ inline void print_cdf_table(
   }
   std::printf("%-10s", "samples");
   for (const auto& [_, samples] : series) {
-    std::printf(" %12zu", samples->count());
+    std::printf(" %12zu", static_cast<std::size_t>(samples->count()));
   }
   std::printf("\n");
 }

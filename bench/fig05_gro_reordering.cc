@@ -18,8 +18,8 @@ using namespace presto::bench;
 namespace {
 
 struct GroRunResult {
-  stats::Samples ooo_counts;
-  stats::Samples segment_sizes;
+  stats::DDSketch ooo_counts;
+  stats::DDSketch segment_sizes;
   double tput_gbps = 0;
   double cpu_pct = 0;
   telemetry::Snapshot telemetry;
@@ -63,8 +63,8 @@ GroRunResult run_one(host::GroKind gro, std::uint64_t seed, bool telemetry) {
 
   metrics->finish();
   GroRunResult r;
-  r.ooo_counts = metrics->out_of_order_counts();
-  r.segment_sizes = metrics->segment_sizes();
+  r.ooo_counts = stats::DDSketch::of(metrics->out_of_order_counts());
+  r.segment_sizes = stats::DDSketch::of(metrics->segment_sizes());
   r.tput_gbps =
       8.0 * static_cast<double>(d1 - d0) / sim::to_seconds(measure) / 1e9 / 2;
   r.cpu_pct = 100.0 * static_cast<double>(busy1 - busy0) /

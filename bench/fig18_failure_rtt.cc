@@ -15,7 +15,7 @@ using namespace presto::bench;
 int main(int argc, char** argv) {
   JsonReporter json("fig18_failure_rtt", argc, argv);
   json.note_run_config(seed_count(), time_scale());
-  stats::Samples symmetry, failover, weighted;
+  stats::DDSketch symmetry, failover, weighted;
   telemetry::Snapshot telem;
 
   // Seed replicas in parallel. Per-stage RTT samples ride in RunResult's
@@ -70,8 +70,8 @@ int main(int argc, char** argv) {
     }
     ex.sim().run_until(stop);
     harness::RunResult rr;
-    rr.rtt_ms = std::move(sym_s);
-    rr.fct_ms = std::move(fo_s);
+    rr.rtt_ms = stats::DDSketch::of(sym_s);
+    rr.fct_ms = stats::DDSketch::of(fo_s);
     rr.per_flow_gbps = w_s.values();
     rr.telemetry = ex.telemetry_snapshot();
     return rr;
@@ -86,7 +86,7 @@ int main(int argc, char** argv) {
   if (json.enabled()) {
     harness::ExperimentConfig cfg;
     cfg.scheme = harness::Scheme::kPresto;
-    const std::pair<const char*, const stats::Samples*> stages[] = {
+    const std::pair<const char*, const stats::DDSketch*> stages[] = {
         {"Symmetry", &symmetry}, {"Failover", &failover},
         {"Weighted", &weighted}};
     for (const auto& [name, samples] : stages) {

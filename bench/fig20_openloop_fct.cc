@@ -1,0 +1,201 @@
+// Figure 20 (beyond-paper): open-loop FCT load sweep.
+//
+// Sweeps offered load (0.1 .. 0.9) x scheme (ECMP / Presto / Optimal) x
+// workload mix (websearch / datamining empirical CDFs), each point overlaid
+// with a light synchronized-incast tenant (MixGenerator composition). Every
+// flow is issued at its generator arrival time no matter how congested the
+// fabric is — the open-loop regime where tail FCT degrades first — and all
+// FCT statistics come from bounded DDSketches, so the sweep's stats memory
+// stays constant while it offers hundreds of thousands of flows.
+//
+// Expected shape: all schemes match at low load; as load grows, ECMP's
+// collision-prone path selection inflates p99/p99.9 FCT well before Presto,
+// which tracks Optimal until the fabric itself saturates.
+//
+// `--smoke` shrinks the sweep (2 loads x 2 schemes x 1 mix, short windows)
+// for CI; PRESTO_BENCH_TIME_SCALE scales the windows in either mode.
+
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "harness/openloop.h"
+#include "workload/openloop/generator.h"
+
+using namespace presto;
+using namespace presto::bench;
+
+namespace {
+
+namespace ol = workload::openloop;
+
+harness::OpenLoopResult run_point(harness::Scheme scheme,
+                                  const ol::EmpiricalCdf& sizes, double load,
+                                  std::uint64_t seed,
+                                  const harness::OpenLoopOptions& opt,
+                                  sim::Time incast_interval, bool telemetry) {
+  harness::ExperimentConfig cfg;
+  cfg.scheme = scheme;
+  cfg.seed = seed;
+  cfg.telemetry.metrics = telemetry;
+  const std::uint32_t hosts = cfg.leaves * cfg.hosts_per_leaf;
+
+  // Tenant 0: load-driven arrivals over the empirical size mix.
+  ol::OpenLoopGenerator::Config main_cfg;
+  main_cfg.sizes = &sizes;
+  main_cfg.arrival.load = load;
+  main_cfg.arrival.link_rate_bps = cfg.link_rate_bps;
+  main_cfg.hosts = hosts;
+  main_cfg.hosts_per_rack = cfg.hosts_per_leaf;
+  main_cfg.seed = seed;
+
+  // Tenant 1: periodic 8-way incast epochs riding on top of the base load.
+  ol::IncastGenerator::Config in_cfg;
+  in_cfg.hosts = hosts;
+  in_cfg.fanin = 8;
+  in_cfg.bytes_each = 20 * 1024;
+  in_cfg.interval = incast_interval;
+  in_cfg.start = incast_interval / 2;
+  in_cfg.seed = seed + 1;
+
+  std::vector<std::unique_ptr<ol::FlowGenerator>> tenants;
+  tenants.push_back(std::make_unique<ol::OpenLoopGenerator>(main_cfg));
+  tenants.push_back(std::make_unique<ol::IncastGenerator>(in_cfg));
+  ol::MixGenerator mix(std::move(tenants));
+
+  return harness::run_openloop(cfg, mix, opt);
+}
+
+/// FNV-1a over the per-run executed-event counts: a cheap cross-rerun
+/// determinism digest for the whole sweep.
+struct Digest {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  void fold(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xFF;
+      h *= 0x100000001b3ULL;
+    }
+  }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  JsonReporter json("fig20_openloop_fct", argc, argv);
+  json.note_run_config(seed_count(), time_scale());
+
+  const ol::EmpiricalCdf websearch = ol::EmpiricalCdf::websearch();
+  const ol::EmpiricalCdf datamining = ol::EmpiricalCdf::datamining();
+
+  std::vector<double> loads = {0.1, 0.3, 0.5, 0.7, 0.9};
+  std::vector<harness::Scheme> schemes = {harness::Scheme::kEcmp,
+                                          harness::Scheme::kPresto,
+                                          harness::Scheme::kOptimal};
+  std::vector<std::pair<const char*, const ol::EmpiricalCdf*>> mixes = {
+      {"websearch", &websearch}, {"datamining", &datamining}};
+
+  harness::OpenLoopOptions opt;
+  opt.warmup = scaled(50 * sim::kMillisecond);
+  opt.measure = scaled(400 * sim::kMillisecond);
+  opt.drain = scaled(200 * sim::kMillisecond);
+  sim::Time incast_interval = scaled(20 * sim::kMillisecond);
+  if (smoke) {
+    loads = {0.3, 0.7};
+    schemes = {harness::Scheme::kEcmp, harness::Scheme::kPresto};
+    mixes = {{"websearch", &websearch}};
+    opt.warmup = scaled(10 * sim::kMillisecond);
+    opt.measure = scaled(60 * sim::kMillisecond);
+    opt.drain = scaled(60 * sim::kMillisecond);
+    incast_interval = scaled(5 * sim::kMillisecond);
+  }
+
+  std::uint64_t total_offered = 0;
+  std::uint64_t total_measured = 0;
+  Digest digest;
+
+  std::printf("Figure 20: open-loop FCT vs offered load (ms, from sketches)\n");
+  for (const auto& [mix_name, cdf] : mixes) {
+    std::printf("\n%-10s %-8s %8s %7s %9s %9s %9s %9s %9s\n", mix_name,
+                "scheme", "flows", "load", "p50", "p99", "p99.9", "mice p99",
+                "eleph p50");
+    for (double load : loads) {
+      for (harness::Scheme scheme : schemes) {
+        // One seed replica per sweep-pool slot; OpenLoopResults are merged
+        // in seed order (sketch merges are associative, so the merged
+        // percentiles are independent of completion order anyway).
+        const int n = seed_count();
+        std::vector<harness::OpenLoopResult> reps(
+            static_cast<std::size_t>(n));
+        harness::run_indexed(n, thread_count(), [&](int s) {
+          reps[static_cast<std::size_t>(s)] =
+              run_point(scheme, *cdf, load,
+                        6100 + 13 * static_cast<std::uint64_t>(s), opt,
+                        incast_interval, json.enabled());
+          return harness::RunResult();
+        });
+        harness::OpenLoopResult agg;
+        for (const harness::OpenLoopResult& r : reps) {
+          agg.fct_ms.merge(r.fct_ms);
+          agg.mice_fct_ms.merge(r.mice_fct_ms);
+          agg.elephant_fct_ms.merge(r.elephant_fct_ms);
+          agg.flow_bytes.merge(r.flow_bytes);
+          agg.flows_offered += r.flows_offered;
+          agg.flows_completed += r.flows_completed;
+          agg.flows_measured += r.flows_measured;
+          agg.offered_bytes += r.offered_bytes;
+          agg.timeouts += r.timeouts;
+          agg.measured_load += r.measured_load;
+          agg.telemetry.merge(r.telemetry);
+          digest.fold(r.executed_events);
+        }
+        agg.measured_load /= n;
+        total_offered += agg.flows_offered;
+        total_measured += agg.flows_measured;
+
+        std::printf("%-10s %-8s %8llu %6.0f%% %9.3f %9.3f %9.3f %9.3f"
+                    " %9.1f\n",
+                    "", harness::scheme_name(scheme),
+                    static_cast<unsigned long long>(agg.flows_offered),
+                    100.0 * agg.measured_load, agg.fct_ms.percentile(50),
+                    agg.fct_ms.percentile(99), agg.fct_ms.percentile(99.9),
+                    agg.mice_fct_ms.percentile(99),
+                    agg.elephant_fct_ms.percentile(50));
+
+        if (json.enabled()) {
+          harness::SweepResult sweep;
+          sweep.fct_ms = agg.fct_ms;
+          sweep.rtt_ms = agg.mice_fct_ms;  // mice slice in the second slot
+          sweep.mice_timeouts = agg.timeouts;
+          sweep.telemetry = agg.telemetry;
+          harness::ExperimentConfig cfg;
+          cfg.scheme = scheme;
+          json.set_point(
+              std::string(harness::scheme_name(scheme)) + "/" + mix_name +
+                  "/load" + std::to_string(load).substr(0, 3),
+              {{"load", load},
+               {"measured_load", agg.measured_load},
+               {"flows_offered", static_cast<double>(agg.flows_offered)},
+               {"flows_measured", static_cast<double>(agg.flows_measured)},
+               {"eleph_fct_p50_ms", agg.elephant_fct_ms.percentile(50)},
+               {"eleph_fct_p99_ms", agg.elephant_fct_ms.percentile(99)},
+               {"sketch_buckets",
+                static_cast<double>(agg.fct_ms.bucket_count())}});
+          json.record(cfg, sweep);
+        }
+      }
+    }
+  }
+
+  std::printf("\ntotal flows offered %llu (measured-window completions %llu)"
+              "\nsweep determinism digest %016llx\n",
+              static_cast<unsigned long long>(total_offered),
+              static_cast<unsigned long long>(total_measured),
+              static_cast<unsigned long long>(digest.h));
+  return 0;
+}

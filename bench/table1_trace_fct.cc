@@ -24,7 +24,7 @@ using namespace presto::bench;
 namespace {
 
 struct TraceResult {
-  stats::Samples mice_fct_ms;       // flows < 100 KB
+  stats::DDSketch mice_fct_ms;      // flows < 100 KB
   stats::Samples elephant_gbps;     // flows > 1 MB: size / FCT
   telemetry::Snapshot telemetry;
 };
@@ -139,7 +139,8 @@ int main(int argc, char** argv) {
     }
     results[scheme] = agg;
     std::fprintf(stderr, "%s done (%zu mice, %zu elephants)\n",
-                 harness::scheme_name(scheme), agg.mice_fct_ms.count(),
+                 harness::scheme_name(scheme),
+                 static_cast<std::size_t>(agg.mice_fct_ms.count()),
                  agg.elephant_gbps.count());
   }
 

@@ -23,7 +23,7 @@ using namespace presto::bench;
 namespace {
 
 struct NsResult {
-  stats::Samples mice_fct_ms;
+  stats::DDSketch mice_fct_ms;
   double avg_tput_gbps = 0;
   std::uint64_t mice_timeouts = 0;
   telemetry::Snapshot telemetry;

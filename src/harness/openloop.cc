@@ -1,0 +1,97 @@
+#include "harness/openloop.h"
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <tuple>
+#include <utility>
+
+namespace presto::harness {
+
+OpenLoopResult run_openloop(const ExperimentConfig& cfg,
+                            workload::openloop::FlowGenerator& gen,
+                            const OpenLoopOptions& opt) {
+  using workload::openloop::FlowEvent;
+
+  OpenLoopResult r;
+  r.fct_ms = stats::DDSketch(opt.sketch_alpha);
+  r.mice_fct_ms = stats::DDSketch(opt.sketch_alpha);
+  r.elephant_fct_ms = stats::DDSketch(opt.sketch_alpha);
+  r.flow_bytes = stats::DDSketch(opt.sketch_alpha);
+
+  Experiment ex(cfg);
+  const sim::Time issue_until = opt.warmup + opt.measure;
+  const sim::Time stop = issue_until + opt.drain;
+
+  // Long-lived channel per (src, dst, tenant): flows queue in order on
+  // their channel (§6 methodology — HOL blocking is part of the workload).
+  using ChanKey = std::tuple<net::HostId, net::HostId, std::uint16_t>;
+  std::map<ChanKey, workload::RpcChannel*> chans;
+  auto channel = [&](const FlowEvent& ev) -> workload::RpcChannel& {
+    const ChanKey key{ev.src, ev.dst, ev.tenant};
+    auto it = chans.find(key);
+    if (it == chans.end()) {
+      it = chans.emplace(key, &ex.open_rpc(ev.src, ev.dst)).first;
+    }
+    return *it->second;
+  };
+
+  std::uint64_t measured_bytes = 0;
+  auto issue = [&](const FlowEvent& ev) {
+    ++r.flows_offered;
+    r.offered_bytes += ev.bytes;
+    r.flow_bytes.add(static_cast<double>(ev.bytes));
+    const sim::Time issued = ex.sim().now();
+    const bool in_window = issued >= opt.warmup && issued < issue_until;
+    if (in_window) measured_bytes += ev.bytes;
+    const std::uint64_t bytes = ev.bytes;
+    channel(ev).issue(bytes, [&r, &opt, bytes, in_window](sim::Time fct) {
+      ++r.flows_completed;
+      if (!in_window) return;
+      ++r.flows_measured;
+      const double ms = sim::to_millis(fct);
+      r.fct_ms.add(ms);
+      if (bytes < opt.mice_max_bytes) r.mice_fct_ms.add(ms);
+      if (bytes > opt.elephant_min_bytes) r.elephant_fct_ms.add(ms);
+      if (opt.keep_exact) r.exact_fct_ms.add(ms);
+    });
+  };
+
+  // Pacemaker: hold exactly one pending arrival; issuing it pulls the next
+  // from the generator. Memory stays O(1) in the stream length.
+  auto pending = std::make_shared<FlowEvent>();
+  auto pump = std::make_shared<std::function<void()>>();
+  *pump = [&ex, &gen, &issue, pending, pump, issue_until] {
+    issue(*pending);
+    while (gen.next(pending.get())) {
+      if (pending->at >= issue_until) return;
+      // Arrivals at or before now issue immediately (same-instant incast
+      // epochs collapse into one simulator timestamp).
+      if (pending->at > ex.sim().now()) {
+        ex.sim().schedule_at(pending->at, [pump] { (*pump)(); });
+        return;
+      }
+      issue(*pending);
+    }
+  };
+  if (gen.next(pending.get()) && pending->at < issue_until) {
+    ex.sim().schedule_at(pending->at, [pump] { (*pump)(); });
+  }
+
+  ex.sim().run_until(stop);
+  *pump = nullptr;  // break the self-capture cycle
+
+  for (const auto& [key, chan] : chans) r.timeouts += chan->timeouts();
+  const double capacity_bits =
+      cfg.link_rate_bps * static_cast<double>(ex.servers().size()) *
+      sim::to_seconds(opt.measure);
+  r.measured_load = capacity_bits > 0
+                        ? 8.0 * static_cast<double>(measured_bytes) /
+                              capacity_bits
+                        : 0;
+  r.executed_events = ex.sim().executed();
+  r.telemetry = ex.telemetry_snapshot();
+  return r;
+}
+
+}  // namespace presto::harness

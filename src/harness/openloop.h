@@ -1,0 +1,77 @@
+// Open-loop experiment driver (ISSUE 6): pulls a FlowGenerator's arrival
+// stream through a built testbed and reports flow-completion-time
+// percentiles from bounded streaming sketches.
+//
+// Unlike run_pairs/run_shuffle (closed-loop apps that send as fast as the
+// fabric allows), arrivals here are issued at the generator's times no
+// matter how congested the fabric is — at high load the flow population
+// grows and FCTs inflate, which is exactly the open-loop behavior the
+// load-sweep benches need. Flows between the same (src, dst) pair share a
+// long-lived RPC channel and queue in order on it (the paper's §6 trace
+// methodology: HOL blocking behind elephants is part of the measurement).
+//
+// Stats are recorded straight into DDSketches: memory stays bounded no
+// matter how many flows the sweep offers (the acceptance bar is >= 100k).
+// `keep_exact` additionally retains raw FCT samples — only for the golden
+// sketch-vs-exact equivalence tests on small runs.
+#pragma once
+
+#include <cstdint>
+
+#include "harness/experiment.h"
+#include "stats/ddsketch.h"
+#include "stats/samples.h"
+#include "workload/openloop/generator.h"
+
+namespace presto::harness {
+
+struct OpenLoopOptions {
+  sim::Time warmup = 50 * sim::kMillisecond;
+  sim::Time measure = 200 * sim::kMillisecond;
+  /// Extra time after the last issue to let in-flight flows complete.
+  sim::Time drain = 200 * sim::kMillisecond;
+
+  /// Size-class boundaries for the per-class FCT sketches (paper: mice
+  /// < 100 KB, elephants > 1 MB).
+  std::uint64_t mice_max_bytes = 100'000;
+  std::uint64_t elephant_min_bytes = 1'000'000;
+
+  /// Relative accuracy of the FCT sketches.
+  double sketch_alpha = stats::DDSketch::kDefaultAlpha;
+  /// Golden-test mode: also retain exact per-flow FCT samples (unbounded —
+  /// small runs only).
+  bool keep_exact = false;
+};
+
+struct OpenLoopResult {
+  /// FCT sketches in milliseconds, measured-window flows only.
+  stats::DDSketch fct_ms;           ///< All completed flows.
+  stats::DDSketch mice_fct_ms;      ///< Flows < mice_max_bytes.
+  stats::DDSketch elephant_fct_ms;  ///< Flows > elephant_min_bytes.
+  /// Offered flow sizes (bytes), every issued flow.
+  stats::DDSketch flow_bytes;
+
+  std::uint64_t flows_offered = 0;    ///< Issued over the whole run.
+  std::uint64_t flows_completed = 0;  ///< Completed before the run ended.
+  std::uint64_t flows_measured = 0;   ///< Completed, issued inside measure.
+  std::uint64_t offered_bytes = 0;    ///< Sum of issued flow sizes.
+  std::uint64_t timeouts = 0;         ///< RTOs across all channels.
+  /// Offered load achieved during [warmup, warmup+measure), as a fraction
+  /// of aggregate server link capacity (sanity: tracks the target load).
+  double measured_load = 0;
+
+  /// Scheduler-identity digest (any event reordering shows up here).
+  std::uint64_t executed_events = 0;
+  telemetry::Snapshot telemetry;
+
+  /// Exact FCT samples (ms); populated only with keep_exact.
+  stats::Samples exact_fct_ms;
+};
+
+/// Builds the experiment, replays `gen`'s arrivals from t=0 until
+/// warmup+measure, drains, and collects sketches. The generator is consumed.
+OpenLoopResult run_openloop(const ExperimentConfig& cfg,
+                            workload::openloop::FlowGenerator& gen,
+                            const OpenLoopOptions& opt);
+
+}  // namespace presto::harness

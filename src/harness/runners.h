@@ -6,7 +6,7 @@
 #include <vector>
 
 #include "harness/experiment.h"
-#include "stats/samples.h"
+#include "stats/ddsketch.h"
 #include "workload/patterns.h"
 
 namespace presto::harness {
@@ -34,8 +34,8 @@ struct RunResult {
   std::vector<double> per_flow_gbps;   ///< One entry per elephant.
   double fairness = 1.0;               ///< Jain index over per_flow_gbps.
   double loss_pct = 0;                 ///< Switch drops / enqueued * 100.
-  stats::Samples rtt_ms;               ///< Probe round-trip times.
-  stats::Samples fct_ms;               ///< Mice flow completion times.
+  stats::DDSketch rtt_ms;              ///< Probe round-trip times (sketch).
+  stats::DDSketch fct_ms;              ///< Mice flow completion times.
   std::uint64_t mice_timeouts = 0;     ///< RTOs on mice connections.
   /// Simulator events executed over the whole run (scheduler-identity
   /// digest: any change to event ordering or count shows up here).

@@ -32,8 +32,8 @@ struct SweepResult {
   double avg_tput_gbps = 0;         ///< Mean over seeds.
   double fairness = 0;              ///< Mean over seeds.
   double loss_pct = 0;              ///< Mean over seeds.
-  stats::Samples rtt_ms;            ///< Union of all seeds' samples.
-  stats::Samples fct_ms;            ///< Union of all seeds' samples.
+  stats::DDSketch rtt_ms;           ///< Merge of all seeds' sketches.
+  stats::DDSketch fct_ms;           ///< Merge of all seeds' sketches.
   std::uint64_t mice_timeouts = 0;  ///< Sum over seeds.
   telemetry::Snapshot telemetry;    ///< Merged (counters sum, gauges max).
   std::vector<RunResult> runs;      ///< One entry per seed.

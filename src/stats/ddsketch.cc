@@ -1,0 +1,144 @@
+#include "stats/ddsketch.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace presto::stats {
+
+DDSketch::DDSketch(double alpha, std::size_t max_buckets)
+    : alpha_(alpha > 0 && alpha < 1 ? alpha : kDefaultAlpha),
+      gamma_((1.0 + alpha_) / (1.0 - alpha_)),
+      inv_log_gamma_(1.0 / std::log(gamma_)),
+      max_buckets_(std::max<std::size_t>(max_buckets, 8)) {}
+
+std::int32_t DDSketch::key_of(double magnitude) const {
+  return static_cast<std::int32_t>(
+      std::ceil(std::log(magnitude) * inv_log_gamma_));
+}
+
+double DDSketch::value_of(std::int32_t key) const {
+  // Geometric midpoint of (gamma^(key-1), gamma^key]: within alpha relative
+  // error of every value the bucket can hold.
+  return 2.0 * std::pow(gamma_, key) / (1.0 + gamma_);
+}
+
+std::uint64_t DDSketch::Store::add(std::int32_t key, std::uint64_t n,
+                                   std::size_t max_buckets) {
+  std::uint64_t collapsed = 0;
+  if (counts.empty()) {
+    base = key;
+    counts.push_back(0);
+  }
+  if (key < base) {
+    const std::size_t grow = static_cast<std::size_t>(base - key);
+    if (counts.size() + grow <= max_buckets) {
+      counts.insert(counts.begin(), grow, 0);
+      base = key;
+    } else {
+      key = base;  // collapse into the lowest retained bucket
+      collapsed = n;
+    }
+  }
+  if (key >= base + static_cast<std::int32_t>(counts.size())) {
+    std::size_t needed = static_cast<std::size_t>(key - base) + 1;
+    if (needed > max_buckets) {
+      // Keep the top of the range exact: drop the lowest buckets, folding
+      // their counts into the new lowest bucket.
+      const std::size_t drop = needed - max_buckets;
+      std::uint64_t spill = 0;
+      const std::size_t dropped = std::min(drop, counts.size());
+      for (std::size_t i = 0; i < dropped; ++i) spill += counts[i];
+      counts.erase(counts.begin(),
+                   counts.begin() + static_cast<std::ptrdiff_t>(dropped));
+      base += static_cast<std::int32_t>(drop);
+      if (counts.empty()) counts.push_back(0);
+      counts.front() += spill;
+      collapsed += spill;
+      needed = static_cast<std::size_t>(key - base) + 1;
+    }
+    counts.resize(needed, 0);
+  }
+  counts[static_cast<std::size_t>(key - base)] += n;
+  return collapsed;
+}
+
+void DDSketch::add(double v) {
+  if (std::isnan(v)) return;
+  if (count_ == 0) {
+    min_ = max_ = v;
+  } else {
+    if (v < min_) min_ = v;
+    if (v > max_) max_ = v;
+  }
+  ++count_;
+  sum_ += v;
+  if (v >= kMinIndexable) {
+    collapsed_ += pos_.add(key_of(v), 1, max_buckets_);
+  } else if (v <= -kMinIndexable) {
+    collapsed_ += neg_.add(key_of(-v), 1, max_buckets_);
+  } else {
+    ++zero_count_;
+  }
+}
+
+double DDSketch::percentile(double p) const {
+  if (count_ == 0) return 0;
+  const double pc = p >= 0 ? (p <= 100.0 ? p : 100.0) : 0.0;
+  if (pc <= 0) return min_;
+  if (pc >= 100.0) return max_;
+  // Same rank convention as Samples::percentile (0-based over count-1).
+  const double rank =
+      pc / 100.0 * (static_cast<double>(count_) - 1.0);
+  double cum = 0;
+  auto clamp = [this](double v) {
+    return std::min(std::max(v, min_), max_);
+  };
+  // Ascending value order: most-negative first (mirrored store walked from
+  // its largest magnitude down), then zero, then positives.
+  for (std::size_t i = neg_.counts.size(); i-- > 0;) {
+    cum += static_cast<double>(neg_.counts[i]);
+    if (cum > rank) {
+      return clamp(-value_of(neg_.base + static_cast<std::int32_t>(i)));
+    }
+  }
+  cum += static_cast<double>(zero_count_);
+  if (cum > rank) return clamp(0.0);
+  for (std::size_t i = 0; i < pos_.counts.size(); ++i) {
+    cum += static_cast<double>(pos_.counts[i]);
+    if (cum > rank) {
+      return clamp(value_of(pos_.base + static_cast<std::int32_t>(i)));
+    }
+  }
+  return max_;
+}
+
+void DDSketch::merge(const DDSketch& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  zero_count_ += other.zero_count_;
+  collapsed_ += other.collapsed_;
+  const bool same_grid = other.gamma_ == gamma_;
+  for (int sign = 0; sign < 2; ++sign) {
+    const Store& src = sign == 0 ? other.pos_ : other.neg_;
+    Store& dst = sign == 0 ? pos_ : neg_;
+    for (std::size_t i = 0; i < src.counts.size(); ++i) {
+      const std::uint64_t n = src.counts[i];
+      if (n == 0) continue;
+      const std::int32_t src_key =
+          src.base + static_cast<std::int32_t>(i);
+      const std::int32_t key =
+          same_grid ? src_key : key_of(other.value_of(src_key));
+      collapsed_ += dst.add(key, n, max_buckets_);
+    }
+  }
+}
+
+}  // namespace presto::stats

@@ -1,6 +1,37 @@
 #include "stats/samples.h"
 
+#include <cerrno>
+#include <cstdlib>
+
 namespace presto::stats {
+
+std::size_t Samples::default_budget() {
+  static const std::size_t budget = [] {
+    constexpr std::size_t kDefault = 4u * 1024 * 1024;
+    const char* env = std::getenv("PRESTO_SAMPLES_BUDGET");
+    if (env == nullptr) return kDefault;
+    char* end = nullptr;
+    errno = 0;
+    const long long n = std::strtoll(env, &end, 10);
+    if (errno == 0 && end != env && *end == '\0' && n > 0) {
+      return static_cast<std::size_t>(n);
+    }
+    std::fprintf(stderr,
+                 "[stats] ignoring invalid PRESTO_SAMPLES_BUDGET=\"%s\" "
+                 "(want an integer > 0); using %zu\n",
+                 env, kDefault);
+    return kDefault;
+  }();
+  return budget;
+}
+
+void Samples::warn_budget() const {
+  std::fprintf(stderr,
+               "[stats] Samples budget exhausted (%zu values retained); "
+               "dropping further samples — use stats::DDSketch for "
+               "unbounded streams or raise PRESTO_SAMPLES_BUDGET\n",
+               budget_);
+}
 
 void Samples::print_cdf(const std::string& label, std::size_t points) const {
   if (values_.empty()) {

@@ -11,15 +11,39 @@
 namespace presto::stats {
 
 /// Accumulates doubles; percentiles computed on demand.
+///
+/// Memory grows with the stream: every added value is retained. Collectors
+/// that may see unbounded streams (open-loop workloads) should use
+/// stats::DDSketch instead; as a backstop, each Samples enforces a hard
+/// sample budget (default 4M values, PRESTO_SAMPLES_BUDGET or set_budget()
+/// to change): once exceeded, further values are dropped — counted in
+/// dropped() — and a warning is printed once per collector.
 class Samples {
  public:
   void add(double v) {
+    if (values_.size() >= budget_) {
+      if (dropped_ == 0) warn_budget();
+      ++dropped_;
+      return;
+    }
     values_.push_back(v);
     sorted_ = false;
   }
 
   std::size_t count() const { return values_.size(); }
   bool empty() const { return values_.empty(); }
+
+  /// Caps the number of retained values for this collector (0 keeps the
+  /// current budget). The process-wide default comes from
+  /// PRESTO_SAMPLES_BUDGET (an integer > 0; invalid values are ignored).
+  void set_budget(std::size_t budget) {
+    if (budget > 0) budget_ = budget;
+  }
+  std::size_t budget() const { return budget_; }
+  /// Values rejected after the budget was exhausted.
+  std::uint64_t dropped() const { return dropped_; }
+
+  static std::size_t default_budget();
 
   double mean() const {
     if (values_.empty()) return 0;
@@ -60,10 +84,11 @@ class Samples {
   /// prefixed with `label`.
   void print_cdf(const std::string& label, std::size_t points = 20) const;
 
-  /// Merges another collector's samples into this one.
+  /// Merges another collector's samples into this one (subject to this
+  /// collector's budget).
   void merge(const Samples& other) {
-    values_.insert(values_.end(), other.values_.begin(), other.values_.end());
-    sorted_ = false;
+    for (double v : other.values_) add(v);
+    dropped_ += other.dropped_;
   }
 
   const std::vector<double>& values() const { return values_; }
@@ -76,8 +101,12 @@ class Samples {
     }
   }
 
+  void warn_budget() const;
+
   mutable std::vector<double> values_;
   mutable bool sorted_ = false;
+  std::size_t budget_ = default_budget();
+  std::uint64_t dropped_ = 0;
 };
 
 /// Jain's fairness index over per-flow throughputs (§4): (sum x)^2 / (n * sum x^2).

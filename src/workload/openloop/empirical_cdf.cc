@@ -1,0 +1,191 @@
+#include "workload/openloop/empirical_cdf.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace presto::workload::openloop {
+namespace {
+
+// Bundled tables. The same text lives in data/websearch.cdf and
+// data/datamining.cdf; openloop_test locks the two copies together.
+constexpr const char* kWebsearchCdf = R"(# Web-search flow sizes (DCTCP-shaped)
+# size_bytes cumulative_probability
+1000      0
+2000      0.03
+5000      0.10
+10000     0.15
+20000     0.20
+50000     0.35
+80000     0.45
+100000    0.50
+200000    0.60
+500000    0.70
+1000000   0.75
+2000000   0.80
+5000000   0.90
+10000000  0.97
+30000000  1.0
+)";
+
+constexpr const char* kDataminingCdf = R"(# Data-mining flow sizes (VL2-shaped, tail truncated at 100 MB)
+# size_bytes cumulative_probability
+100       0
+180       0.10
+250       0.20
+560       0.30
+900       0.40
+1100      0.50
+1870      0.60
+3160      0.70
+10000     0.80
+100000    0.85
+400000    0.90
+3160000   0.95
+10000000  0.98
+100000000 1.0
+)";
+
+const EmpiricalCdf* make_builtin(const char* text, const char* name) {
+  auto* cdf = new EmpiricalCdf;
+  std::string error;
+  if (!EmpiricalCdf::parse(text, cdf, &error)) {
+    // Built-ins are compile-time constants; failing to parse one is a bug.
+    std::fprintf(stderr, "builtin CDF %s invalid: %s\n", name, error.c_str());
+    std::abort();
+  }
+  cdf->set_name(name);
+  return cdf;
+}
+
+}  // namespace
+
+bool EmpiricalCdf::parse(const std::string& text, EmpiricalCdf* out,
+                         std::string* error) {
+  auto fail = [error](std::size_t lineno, const std::string& why) {
+    if (error != nullptr) {
+      *error = "line " + std::to_string(lineno) + ": " + why;
+    }
+    return false;
+  };
+  std::vector<Point> pts;
+  std::istringstream in(text);
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream row(line);
+    Point p;
+    if (!(row >> p.bytes)) continue;  // blank / comment-only line
+    std::string trailing;
+    if (!(row >> p.cum_prob) || (row >> trailing)) {
+      return fail(lineno, "expected `size_bytes cumulative_probability`");
+    }
+    if (!(p.bytes > 0)) {
+      return fail(lineno, "size must be > 0");
+    }
+    if (p.cum_prob < 0 || p.cum_prob > 1) {
+      return fail(lineno, "cumulative probability must be in [0, 1]");
+    }
+    if (!pts.empty()) {
+      if (p.bytes <= pts.back().bytes) {
+        return fail(lineno, "sizes must be strictly increasing");
+      }
+      if (p.cum_prob < pts.back().cum_prob) {
+        return fail(lineno, "CDF must be monotonic (cum_prob decreased)");
+      }
+    }
+    pts.push_back(p);
+  }
+  if (pts.size() < 2) {
+    if (error != nullptr) *error = "need at least 2 CDF points";
+    return false;
+  }
+  if (pts.back().cum_prob != 1.0) {
+    if (error != nullptr) {
+      *error = "final cumulative probability is " +
+               std::to_string(pts.back().cum_prob) + ", not 1";
+    }
+    return false;
+  }
+  out->points_ = std::move(pts);
+  out->name_.clear();
+  return true;
+}
+
+bool EmpiricalCdf::load_file(const std::string& path, EmpiricalCdf* out,
+                             std::string* error) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    if (error != nullptr) *error = path + ": cannot open";
+    return false;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  std::string parse_error;
+  if (!parse(buf.str(), out, &parse_error)) {
+    if (error != nullptr) *error = path + ": " + parse_error;
+    return false;
+  }
+  out->name_ = path;
+  return true;
+}
+
+const EmpiricalCdf& EmpiricalCdf::websearch() {
+  static const EmpiricalCdf* cdf = make_builtin(kWebsearchCdf, "websearch");
+  return *cdf;
+}
+
+const EmpiricalCdf& EmpiricalCdf::datamining() {
+  static const EmpiricalCdf* cdf = make_builtin(kDataminingCdf, "datamining");
+  return *cdf;
+}
+
+bool EmpiricalCdf::open(const std::string& name_or_path, EmpiricalCdf* out,
+                        std::string* error) {
+  if (name_or_path == "websearch") {
+    *out = websearch();
+    return true;
+  }
+  if (name_or_path == "datamining") {
+    *out = datamining();
+    return true;
+  }
+  return load_file(name_or_path, out, error);
+}
+
+std::uint64_t EmpiricalCdf::sample(sim::Rng& rng) const {
+  const double u = rng.uniform();
+  // Find the first point with cum_prob >= u; interpolate linearly in size
+  // from the previous point. Flat steps (equal cum_prob) resolve to the
+  // step's size.
+  const Point* prev = &points_.front();
+  for (const Point& p : points_) {
+    if (u <= p.cum_prob) {
+      const double dp = p.cum_prob - prev->cum_prob;
+      const double frac = dp > 0 ? (u - prev->cum_prob) / dp : 1.0;
+      const double bytes = prev->bytes + frac * (p.bytes - prev->bytes);
+      const double scaled = bytes * size_scale_;
+      return scaled < 1.0 ? 1 : static_cast<std::uint64_t>(scaled);
+    }
+    prev = &p;
+  }
+  return static_cast<std::uint64_t>(points_.back().bytes * size_scale_);
+}
+
+double EmpiricalCdf::mean_bytes() const {
+  // Piecewise-linear CDF => uniform within each segment: the segment's
+  // contribution is its mass times the midpoint size.
+  double mean = points_.front().bytes * points_.front().cum_prob;
+  for (std::size_t i = 1; i < points_.size(); ++i) {
+    const Point& a = points_[i - 1];
+    const Point& b = points_[i];
+    mean += (b.cum_prob - a.cum_prob) * 0.5 * (a.bytes + b.bytes);
+  }
+  return mean * size_scale_;
+}
+
+}  // namespace presto::workload::openloop

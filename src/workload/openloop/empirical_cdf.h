@@ -1,0 +1,80 @@
+// Empirical flow-size CDFs for open-loop workloads (ISSUE 6).
+//
+// Presto's headline comparisons (Table 1, Fig 16) and the related schemes
+// (DiffFlow's mice/elephant split, FlowDyn's flowlet gaps) are only
+// distinguishable under realistic heavy-tailed mixes. This class samples
+// flow sizes by inverse transform over a piecewise-linear empirical CDF —
+// the standard "websearch" (DCTCP, Alizadeh et al. SIGCOMM'10) and
+// "datamining" (VL2, Greenberg et al. SIGCOMM'09) curves are bundled both
+// as built-ins and as data files under data/*.cdf.
+//
+// File format (text, '#' comments, one point per line):
+//   <size_bytes> <cumulative_probability>
+// Sizes must be positive and strictly increasing, probabilities
+// non-decreasing in [0, 1] with the final point at exactly 1. Malformed
+// tables are rejected with a line-numbered diagnostic.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/rng.h"
+
+namespace presto::workload::openloop {
+
+class EmpiricalCdf {
+ public:
+  struct Point {
+    double bytes;
+    double cum_prob;
+  };
+
+  /// Parses a CDF table from text. On failure returns false and writes a
+  /// "line N: ..." diagnostic to `error`.
+  static bool parse(const std::string& text, EmpiricalCdf* out,
+                    std::string* error);
+
+  /// Loads a CDF table from a file (same diagnostics, prefixed with the
+  /// path).
+  static bool load_file(const std::string& path, EmpiricalCdf* out,
+                        std::string* error);
+
+  /// Built-in web-search mix: mostly mice by count, most bytes from
+  /// multi-MB elephants (DCTCP-shaped). Mirrors data/websearch.cdf.
+  static const EmpiricalCdf& websearch();
+  /// Built-in data-mining mix: extremely mice-heavy with a sparse very
+  /// heavy tail (VL2-shaped, truncated at 100 MB). Mirrors
+  /// data/datamining.cdf.
+  static const EmpiricalCdf& datamining();
+  /// Resolves "websearch"/"datamining" to a built-in, anything else as a
+  /// file path. Returns false with a diagnostic on failure.
+  static bool open(const std::string& name_or_path, EmpiricalCdf* out,
+                   std::string* error);
+
+  /// Samples one flow size in bytes (inverse transform; linear
+  /// interpolation in size between CDF points, scaled by size_scale).
+  std::uint64_t sample(sim::Rng& rng) const;
+
+  /// Expected flow size in bytes under the piecewise-linear interpolation.
+  double mean_bytes() const;
+
+  /// Multiplies every sampled size (and mean). Scaling sizes while keeping
+  /// the arrival engine's load target fixed shrinks per-flow byte counts
+  /// without changing the mix shape — used by smoke configurations.
+  void set_size_scale(double s) {
+    if (s > 0) size_scale_ = s;
+  }
+  double size_scale() const { return size_scale_; }
+
+  const std::vector<Point>& points() const { return points_; }
+  const std::string& name() const { return name_; }
+  void set_name(std::string n) { name_ = std::move(n); }
+
+ private:
+  std::vector<Point> points_;
+  std::string name_;
+  double size_scale_ = 1.0;
+};
+
+}  // namespace presto::workload::openloop

@@ -1,0 +1,147 @@
+#include "workload/openloop/generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace presto::workload::openloop {
+
+ArrivalProcess::ArrivalProcess(const ArrivalConfig& cfg,
+                               double mean_flow_bytes)
+    : cfg_(cfg) {
+  const double load = cfg.load > 0 ? cfg.load : 0.5;
+  const double bps = cfg.link_rate_bps > 0 ? cfg.link_rate_bps : 10e9;
+  // load * rate = mean_size * 8 / mean_gap  =>  solve for the gap.
+  mean_gap_ns_ = mean_flow_bytes * 8.0 / (load * bps) * 1e9;
+  const double shape = cfg.pareto_shape > 1.0 ? cfg.pareto_shape : 1.5;
+  pareto_scale_ns_ = mean_gap_ns_ * (shape - 1.0) / shape;
+}
+
+sim::Time ArrivalProcess::next_gap(sim::Rng& rng) const {
+  double gap_ns;
+  if (cfg_.process == ArrivalConfig::Process::kPoisson) {
+    gap_ns = rng.exponential(mean_gap_ns_);
+  } else {
+    // Pareto(x_m, shape) via inverse transform, capped at 1000x the mean so
+    // a single draw cannot silence a source for the whole run.
+    const double shape = cfg_.pareto_shape > 1.0 ? cfg_.pareto_shape : 1.5;
+    const double u = 1.0 - rng.uniform();  // (0, 1]
+    gap_ns = pareto_scale_ns_ / std::pow(u, 1.0 / shape);
+    gap_ns = std::min(gap_ns, 1000.0 * mean_gap_ns_);
+  }
+  const auto t = static_cast<sim::Time>(gap_ns);
+  return t < 1 ? 1 : t;
+}
+
+OpenLoopGenerator::OpenLoopGenerator(const Config& cfg)
+    : cfg_(cfg),
+      arrivals_(cfg.arrival,
+                cfg.sizes != nullptr ? cfg.sizes->mean_bytes() : 1.0) {
+  sim::Rng root(cfg.seed);
+  sources_.reserve(cfg_.hosts);
+  for (std::uint32_t h = 0; h < cfg_.hosts; ++h) {
+    Source s{/*next_at=*/0, root.fork()};
+    s.next_at = cfg_.start + arrivals_.next_gap(s.rng);
+    sources_.push_back(std::move(s));
+  }
+}
+
+bool OpenLoopGenerator::next(FlowEvent* out) {
+  if (cfg_.hosts < 2 || cfg_.sizes == nullptr) return false;
+  // Earliest source fires next; ties resolve to the lowest host id so the
+  // stream is a pure function of the seed.
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < sources_.size(); ++i) {
+    if (sources_[i].next_at < sources_[best].next_at) best = i;
+  }
+  Source& s = sources_[best];
+  const auto src = static_cast<net::HostId>(best);
+
+  out->at = s.next_at;
+  out->src = src;
+  out->bytes = cfg_.sizes->sample(s.rng);
+  out->tenant = 0;
+  out->incast = false;
+
+  const auto rack = [this](net::HostId h) {
+    return cfg_.hosts_per_rack > 0 ? h / cfg_.hosts_per_rack : 0;
+  };
+  net::HostId dst;
+  do {
+    dst = static_cast<net::HostId>(s.rng.below(cfg_.hosts));
+  } while (dst == src ||
+           (cfg_.cross_rack_only && cfg_.hosts > cfg_.hosts_per_rack &&
+            rack(dst) == rack(src)));
+  out->dst = dst;
+
+  s.next_at += arrivals_.next_gap(s.rng);
+  return true;
+}
+
+IncastGenerator::IncastGenerator(const Config& cfg)
+    : cfg_(cfg), rng_(cfg.seed), epoch_(cfg.start + cfg.interval) {
+  cfg_.fanin = std::min(cfg_.fanin, cfg_.hosts > 0 ? cfg_.hosts - 1 : 0);
+}
+
+void IncastGenerator::refill() {
+  // One epoch: `fanin` distinct senders, all firing at exactly `epoch_`.
+  std::vector<net::HostId> candidates;
+  candidates.reserve(cfg_.hosts - 1);
+  for (net::HostId h = 0; h < cfg_.hosts; ++h) {
+    if (h != target_) candidates.push_back(h);
+  }
+  for (std::uint32_t k = 0; k < cfg_.fanin; ++k) {
+    const std::size_t pick =
+        k + static_cast<std::size_t>(rng_.below(candidates.size() - k));
+    std::swap(candidates[k], candidates[pick]);
+    FlowEvent ev;
+    ev.at = epoch_;
+    ev.src = candidates[k];
+    ev.dst = target_;
+    ev.bytes = cfg_.bytes_each;
+    ev.incast = true;
+    pending_.push_back(ev);
+  }
+  // Same-timestamp events drain in sender order (deterministic).
+  std::reverse(pending_.begin(), pending_.end());
+  target_ = (target_ + 1) % cfg_.hosts;
+  epoch_ += cfg_.interval;
+}
+
+bool IncastGenerator::next(FlowEvent* out) {
+  if (cfg_.fanin == 0 || cfg_.hosts < 2) return false;
+  if (pending_.empty()) refill();
+  *out = pending_.back();
+  pending_.pop_back();
+  return true;
+}
+
+MixGenerator::MixGenerator(
+    std::vector<std::unique_ptr<FlowGenerator>> children, bool restamp)
+    : restamp_(restamp) {
+  children_.reserve(children.size());
+  for (auto& c : children) {
+    Child ch;
+    ch.gen = std::move(c);
+    ch.has_head = ch.gen->next(&ch.head);
+    children_.push_back(std::move(ch));
+  }
+}
+
+bool MixGenerator::next(FlowEvent* out) {
+  std::size_t best = children_.size();
+  for (std::size_t i = 0; i < children_.size(); ++i) {
+    if (!children_[i].has_head) continue;
+    if (best == children_.size() ||
+        children_[i].head.at < children_[best].head.at) {
+      best = i;  // ties resolve to the lowest tenant index
+    }
+  }
+  if (best == children_.size()) return false;
+  Child& c = children_[best];
+  *out = c.head;
+  if (restamp_) out->tenant = static_cast<std::uint16_t>(best);
+  c.has_head = c.gen->next(&c.head);
+  return true;
+}
+
+}  // namespace presto::workload::openloop

@@ -1,0 +1,163 @@
+// Open-loop flow generators (ISSUE 6 tentpole).
+//
+// A FlowGenerator yields a time-ordered stream of FlowEvents — "at time T,
+// host S sends B bytes to host D" — independent of how fast the fabric
+// drains them (open-loop: arrivals never wait for completions, unlike the
+// closed-loop RpcChannel/ElephantApp drivers). Generators are pure and
+// sim-free: they are driven by a seeded Rng only, so arrival streams are
+// deterministic, unit-testable, and identical across schemes under test.
+//
+// Composition:
+//   OpenLoopGenerator  — per-source Poisson/Pareto arrivals x empirical
+//                        flow-size CDF at a target load
+//   IncastGenerator    — synchronized fan-in epochs (N senders hit one
+//                        rotating target at the same instant)
+//   ReplayGenerator    — externally captured trace (see replay.h)
+//   MixGenerator       — time-ordered merge of any of the above, each
+//                        stamped with a tenant id (multi-tenant mixes)
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "net/types.h"
+#include "sim/rng.h"
+#include "sim/time.h"
+#include "workload/openloop/empirical_cdf.h"
+
+namespace presto::workload::openloop {
+
+struct FlowEvent {
+  sim::Time at = 0;            ///< Issue time (ns).
+  net::HostId src = 0;
+  net::HostId dst = 0;
+  std::uint64_t bytes = 0;
+  std::uint16_t tenant = 0;    ///< Generator index within a mix.
+  bool incast = false;         ///< Part of a synchronized fan-in epoch.
+};
+
+/// Time-ordered flow stream. next() returns false when exhausted (replay) —
+/// synthetic generators are infinite and the consumer stops pulling at its
+/// stop time.
+class FlowGenerator {
+ public:
+  virtual ~FlowGenerator() = default;
+  /// Produces the next event; `at` is nondecreasing across calls.
+  virtual bool next(FlowEvent* out) = 0;
+};
+
+/// Inter-arrival process, parameterized by target offered load.
+struct ArrivalConfig {
+  enum class Process {
+    kPoisson,  ///< Exponential gaps (memoryless; the paper's §6 workload).
+    kPareto,   ///< Bounded-Pareto gaps (bursty, heavy-tailed trains).
+  };
+  Process process = Process::kPoisson;
+  /// Offered load as a fraction of each source's link rate, in (0, 1].
+  double load = 0.5;
+  double link_rate_bps = 10e9;
+  /// Pareto tail exponent (> 1 so the mean exists); 1.5 gives pronounced
+  /// burstiness. Gaps are capped at 1000x the mean to bound the tail.
+  double pareto_shape = 1.5;
+};
+
+/// Draws inter-arrival gaps whose mean offers `load * link_rate_bps` given
+/// flows of `mean_flow_bytes`.
+class ArrivalProcess {
+ public:
+  ArrivalProcess(const ArrivalConfig& cfg, double mean_flow_bytes);
+
+  sim::Time next_gap(sim::Rng& rng) const;
+  /// Flows per second this process offers per source.
+  double rate_per_sec() const { return 1e9 / mean_gap_ns_; }
+  double mean_gap_ns() const { return mean_gap_ns_; }
+
+ private:
+  ArrivalConfig cfg_;
+  double mean_gap_ns_;
+  double pareto_scale_ns_;  // x_m: mean * (shape-1)/shape
+};
+
+/// Per-source open-loop arrivals over an empirical size mix. Destinations
+/// are uniform over the other hosts, optionally restricted to a different
+/// logical rack (h / hosts_per_rack), mirroring the paper's cross-rack
+/// trace workload.
+class OpenLoopGenerator final : public FlowGenerator {
+ public:
+  struct Config {
+    const EmpiricalCdf* sizes = nullptr;  ///< Required.
+    ArrivalConfig arrival;
+    std::uint32_t hosts = 16;
+    std::uint32_t hosts_per_rack = 4;
+    bool cross_rack_only = true;
+    sim::Time start = 0;
+    std::uint64_t seed = 1;
+  };
+
+  explicit OpenLoopGenerator(const Config& cfg);
+
+  bool next(FlowEvent* out) override;
+
+  const ArrivalProcess& arrivals() const { return arrivals_; }
+
+ private:
+  struct Source {
+    sim::Time next_at;
+    sim::Rng rng;
+  };
+
+  Config cfg_;
+  ArrivalProcess arrivals_;
+  std::vector<Source> sources_;
+};
+
+/// Synchronized fan-in: every `interval`, `fanin` senders each send
+/// `bytes_each` to one target at exactly the same instant. Targets rotate
+/// round-robin; senders are drawn without replacement from the other hosts.
+class IncastGenerator final : public FlowGenerator {
+ public:
+  struct Config {
+    std::uint32_t hosts = 16;
+    std::uint32_t fanin = 8;
+    std::uint64_t bytes_each = 20 * 1024;
+    sim::Time interval = 10 * sim::kMillisecond;
+    sim::Time start = 0;
+    std::uint64_t seed = 1;
+  };
+
+  explicit IncastGenerator(const Config& cfg);
+
+  bool next(FlowEvent* out) override;
+
+ private:
+  void refill();
+
+  Config cfg_;
+  sim::Rng rng_;
+  sim::Time epoch_;
+  std::uint32_t target_ = 0;
+  std::vector<FlowEvent> pending_;  // current epoch, drained back-to-front
+};
+
+/// Time-ordered merge of child generators; child i's events are stamped
+/// tenant=i (unless the child already set a tenant and `restamp` is off).
+class MixGenerator final : public FlowGenerator {
+ public:
+  explicit MixGenerator(std::vector<std::unique_ptr<FlowGenerator>> children,
+                        bool restamp_tenants = true);
+
+  bool next(FlowEvent* out) override;
+
+ private:
+  struct Child {
+    std::unique_ptr<FlowGenerator> gen;
+    FlowEvent head;
+    bool has_head = false;
+  };
+
+  std::vector<Child> children_;
+  bool restamp_;
+};
+
+}  // namespace presto::workload::openloop

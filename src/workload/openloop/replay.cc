@@ -1,0 +1,104 @@
+#include "workload/openloop/replay.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace presto::workload::openloop {
+
+bool ReplayTrace::parse(const std::string& text, std::uint32_t hosts,
+                        ReplayTrace* out, std::string* error) {
+  auto fail = [error](std::size_t lineno, const std::string& why) {
+    if (error != nullptr) {
+      *error = "line " + std::to_string(lineno) + ": " + why;
+    }
+    return false;
+  };
+  std::vector<FlowEvent> flows;
+  std::uint64_t total = 0;
+  std::istringstream in(text);
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::replace(line.begin(), line.end(), ',', ' ');  // CSV tolerance
+    std::istringstream row(line);
+    double start_s;
+    if (!(row >> start_s)) continue;  // blank / comment-only line
+    long long src, dst, bytes;
+    if (!(row >> src >> dst >> bytes)) {
+      return fail(lineno,
+                  "expected `start_seconds src_host dst_host bytes [tenant]`");
+    }
+    long long tenant = 0;
+    row >> tenant;  // optional
+    std::string trailing;
+    if (row >> trailing) {
+      return fail(lineno, "unexpected trailing field `" + trailing + "`");
+    }
+    if (start_s < 0) return fail(lineno, "start time must be >= 0");
+    if (src < 0 || dst < 0) return fail(lineno, "host ids must be >= 0");
+    if (hosts != 0 && (src >= hosts || dst >= hosts)) {
+      return fail(lineno, "host id out of range (fabric has " +
+                              std::to_string(hosts) + " hosts)");
+    }
+    if (src == dst) return fail(lineno, "src and dst must differ");
+    if (bytes <= 0) return fail(lineno, "bytes must be > 0");
+    if (tenant < 0 || tenant > 0xFFFF) {
+      return fail(lineno, "tenant must fit in 16 bits");
+    }
+    FlowEvent ev;
+    ev.at = static_cast<sim::Time>(start_s * 1e9);
+    if (!flows.empty() && ev.at < flows.back().at) {
+      return fail(lineno, "start times must be nondecreasing");
+    }
+    ev.src = static_cast<net::HostId>(src);
+    ev.dst = static_cast<net::HostId>(dst);
+    ev.bytes = static_cast<std::uint64_t>(bytes);
+    ev.tenant = static_cast<std::uint16_t>(tenant);
+    total += ev.bytes;
+    flows.push_back(ev);
+  }
+  if (flows.empty()) {
+    if (error != nullptr) *error = "trace contains no flows";
+    return false;
+  }
+  out->flows_ = std::move(flows);
+  out->total_bytes_ = total;
+  return true;
+}
+
+bool ReplayTrace::load_file(const std::string& path, std::uint32_t hosts,
+                            ReplayTrace* out, std::string* error) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    if (error != nullptr) *error = path + ": cannot open";
+    return false;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  std::string parse_error;
+  if (!parse(buf.str(), hosts, out, &parse_error)) {
+    if (error != nullptr) *error = path + ": " + parse_error;
+    return false;
+  }
+  return true;
+}
+
+std::string ReplayTrace::to_text() const {
+  std::string text = "# presto flow trace v1\n"
+                     "# start_seconds src_host dst_host bytes [tenant]\n";
+  char buf[128];
+  for (const FlowEvent& ev : flows_) {
+    std::snprintf(buf, sizeof buf, "%.9f %u %u %llu %u\n",
+                  sim::to_seconds(ev.at), ev.src, ev.dst,
+                  static_cast<unsigned long long>(ev.bytes), ev.tenant);
+    text += buf;
+  }
+  return text;
+}
+
+}  // namespace presto::workload::openloop

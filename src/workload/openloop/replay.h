@@ -1,0 +1,62 @@
+// Flow-trace replay (ISSUE 6): feed externally captured flows through the
+// simulator as an open-loop workload.
+//
+// Trace schema (text; the documented interchange format, DESIGN.md §13):
+//   - one flow per line: `start_seconds src_host dst_host bytes [tenant]`
+//   - fields separated by whitespace or commas (CSV exports work as-is)
+//   - '#' starts a comment; blank lines are ignored
+//   - start times are nondecreasing; src != dst; bytes > 0
+//   - host ids must be < the host count of the fabric replaying the trace
+//     (validated at parse time when `hosts` is nonzero)
+// Malformed input is rejected with a line-numbered diagnostic instead of
+// silently misbehaving.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "workload/openloop/generator.h"
+
+namespace presto::workload::openloop {
+
+class ReplayTrace {
+ public:
+  /// Parses a trace from text. `hosts` != 0 additionally bounds-checks host
+  /// ids. On failure returns false with a "line N: ..." diagnostic.
+  static bool parse(const std::string& text, std::uint32_t hosts,
+                    ReplayTrace* out, std::string* error);
+
+  /// Loads a trace file (diagnostics prefixed with the path).
+  static bool load_file(const std::string& path, std::uint32_t hosts,
+                        ReplayTrace* out, std::string* error);
+
+  const std::vector<FlowEvent>& flows() const { return flows_; }
+  std::uint64_t total_bytes() const { return total_bytes_; }
+
+  /// Renders the trace back to the schema text (round-trip/export).
+  std::string to_text() const;
+
+ private:
+  std::vector<FlowEvent> flows_;
+  std::uint64_t total_bytes_ = 0;
+};
+
+/// Yields a parsed trace's flows in order; finite (next() returns false at
+/// the end). The trace must outlive the generator.
+class ReplayGenerator final : public FlowGenerator {
+ public:
+  explicit ReplayGenerator(const ReplayTrace& trace) : trace_(trace) {}
+
+  bool next(FlowEvent* out) override {
+    if (pos_ >= trace_.flows().size()) return false;
+    *out = trace_.flows()[pos_++];
+    return true;
+  }
+
+ private:
+  const ReplayTrace& trace_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace presto::workload::openloop

@@ -1,12 +1,131 @@
 #include "workload/trace_dist.h"
 
+#include <cassert>
 #include <cmath>
+#include <cstdio>
+#include <sstream>
 
 namespace presto::workload {
+namespace {
+
+// IMC'09-shaped default mixture (see header).
+const std::vector<TraceFlowDist::Band>& builtin_bands() {
+  static const std::vector<TraceFlowDist::Band> kBands = {
+      {0.50, 100, 10e3},    // mice: RPCs, control messages
+      {0.30, 10e3, 100e3},  // small transfers
+      {0.15, 100e3, 1e6},   // medium
+      {0.045, 1e6, 10e6},   // elephants
+      {0.005, 10e6, 30e6},  // heavy tail
+  };
+  return kBands;
+}
+
+}  // namespace
+
+TraceFlowDist::TraceFlowDist(double scale)
+    : bands_(builtin_bands()), scale_(scale) {
+  assert(validate(bands_).empty());
+}
+
+std::string TraceFlowDist::validate(const std::vector<Band>& bands) {
+  if (bands.empty()) return "band table is empty";
+  double mass = 0;
+  double prev_hi = 0;
+  for (std::size_t i = 0; i < bands.size(); ++i) {
+    const Band& b = bands[i];
+    char buf[160];
+    if (!(b.prob > 0)) {
+      std::snprintf(buf, sizeof buf, "band %zu: probability mass %g is not"
+                    " > 0", i + 1, b.prob);
+      return buf;
+    }
+    if (!(b.lo > 0) || !(b.hi > b.lo)) {
+      std::snprintf(buf, sizeof buf,
+                    "band %zu: size range [%g, %g) must satisfy 0 < lo < hi",
+                    i + 1, b.lo, b.hi);
+      return buf;
+    }
+    if (b.lo < prev_hi) {
+      std::snprintf(buf, sizeof buf,
+                    "band %zu: lo %g overlaps previous band (CDF must be "
+                    "monotonic)", i + 1, b.lo);
+      return buf;
+    }
+    prev_hi = b.hi;
+    mass += b.prob;
+  }
+  if (std::abs(mass - 1.0) > 1e-6) {
+    char buf[96];
+    std::snprintf(buf, sizeof buf, "band masses sum to %g, not 1", mass);
+    return buf;
+  }
+  return "";
+}
+
+bool TraceFlowDist::from_bands(std::vector<Band> bands, double scale,
+                               TraceFlowDist* out, std::string* error) {
+  std::string why = validate(bands);
+  if (!why.empty()) {
+    if (error != nullptr) *error = why;
+    return false;
+  }
+  if (!(scale > 0)) {
+    if (error != nullptr) *error = "scale must be > 0";
+    return false;
+  }
+  *out = TraceFlowDist(std::move(bands), scale);
+  return true;
+}
+
+bool TraceFlowDist::parse(const std::string& text, double scale,
+                          TraceFlowDist* out, std::string* error) {
+  std::vector<Band> bands;
+  std::vector<std::size_t> lines;  // source line of each band, for errors
+  std::istringstream in(text);
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream row(line);
+    Band b;
+    if (!(row >> b.prob)) continue;  // blank / comment-only line
+    std::string trailing;
+    if (!(row >> b.lo >> b.hi) || (row >> trailing)) {
+      if (error != nullptr) {
+        *error = "line " + std::to_string(lineno) +
+                 ": expected `prob lo_bytes hi_bytes`";
+      }
+      return false;
+    }
+    bands.push_back(b);
+    lines.push_back(lineno);
+  }
+  // Re-run the semantic checks band-by-band so the diagnostic can name the
+  // source line rather than the band index.
+  for (std::size_t i = 0; i < bands.size(); ++i) {
+    std::vector<Band> prefix(bands.begin(),
+                             bands.begin() + static_cast<std::ptrdiff_t>(i) +
+                                 1);
+    // Ignore total-mass errors until the whole table is read.
+    std::string why = validate(prefix);
+    if (!why.empty() && why.find("sum to") == std::string::npos) {
+      if (error != nullptr) {
+        *error = "line " + std::to_string(lines[i]) + ": " +
+                 why.substr(why.find(": ") == std::string::npos
+                                ? 0
+                                : why.find(": ") + 2);
+      }
+      return false;
+    }
+  }
+  return from_bands(std::move(bands), scale, out, error);
+}
 
 std::uint64_t TraceFlowDist::sample(sim::Rng& rng) const {
   double u = rng.uniform();
-  for (const Band& b : kBands) {
+  for (const Band& b : bands_) {
     if (u < b.prob) {
       // Log-uniform within the band.
       const double frac = u / b.prob;
@@ -16,12 +135,12 @@ std::uint64_t TraceFlowDist::sample(sim::Rng& rng) const {
     }
     u -= b.prob;
   }
-  return static_cast<std::uint64_t>(kBands[4].hi * scale_);
+  return static_cast<std::uint64_t>(bands_.back().hi * scale_);
 }
 
 double TraceFlowDist::mean_bytes() const {
   double mean = 0;
-  for (const Band& b : kBands) {
+  for (const Band& b : bands_) {
     // Mean of a log-uniform distribution on [lo, hi].
     const double m = (b.hi - b.lo) / (std::log(b.hi) - std::log(b.lo));
     mean += b.prob * m;

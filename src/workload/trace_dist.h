@@ -7,9 +7,18 @@
 // KB), yet most *bytes* come from flows > 1 MB. The piecewise log-uniform
 // mixture below reproduces those first-order statistics; DESIGN.md records
 // this substitution.
+//
+// Custom band tables can be supplied as text (one band per line:
+// `prob lo_bytes hi_bytes`, '#' comments). Tables are validated on
+// construction — positive mass per band, total mass 1, positive
+// strictly-increasing size ranges (a monotonic CDF) — and malformed input
+// is reported with the offending line number instead of silently
+// mis-sampling.
 #pragma once
 
 #include <cstdint>
+#include <string>
+#include <vector>
 
 #include "sim/rng.h"
 
@@ -17,8 +26,25 @@ namespace presto::workload {
 
 class TraceFlowDist {
  public:
-  /// `scale` multiplies every sampled size (the paper uses 10).
-  explicit TraceFlowDist(double scale = 10.0) : scale_(scale) {}
+  struct Band {
+    double prob;    // probability mass of this band
+    double lo, hi;  // size range in bytes (log-uniform within)
+  };
+
+  /// Built-in IMC'09-shaped bands; `scale` multiplies every sampled size
+  /// (the paper uses 10).
+  explicit TraceFlowDist(double scale = 10.0);
+
+  /// Builds a distribution from a custom band table. Returns false and a
+  /// diagnostic in `error` when the table is invalid (empty, non-positive
+  /// mass, mass not summing to 1, or non-monotonic ranges).
+  static bool from_bands(std::vector<Band> bands, double scale,
+                         TraceFlowDist* out, std::string* error);
+
+  /// Parses a band table from text (`prob lo hi` per line). Errors name the
+  /// 1-based line they were found on.
+  static bool parse(const std::string& text, double scale, TraceFlowDist* out,
+                    std::string* error);
 
   /// Samples one flow size in bytes.
   std::uint64_t sample(sim::Rng& rng) const;
@@ -27,20 +53,16 @@ class TraceFlowDist {
   double mean_bytes() const;
 
   double scale() const { return scale_; }
+  const std::vector<Band>& bands() const { return bands_; }
 
  private:
-  struct Band {
-    double prob;        // probability mass of this band
-    double lo, hi;      // size range in bytes (log-uniform within)
-  };
-  static constexpr Band kBands[] = {
-      {0.50, 100, 10e3},      // mice: RPCs, control messages
-      {0.30, 10e3, 100e3},    // small transfers
-      {0.15, 100e3, 1e6},     // medium
-      {0.045, 1e6, 10e6},     // elephants
-      {0.005, 10e6, 30e6},    // heavy tail
-  };
+  TraceFlowDist(std::vector<Band> bands, double scale)
+      : bands_(std::move(bands)), scale_(scale) {}
 
+  /// Empty string when `bands` is a valid table, else the reason.
+  static std::string validate(const std::vector<Band>& bands);
+
+  std::vector<Band> bands_;
   double scale_;
 };
 

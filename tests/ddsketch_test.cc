@@ -1,0 +1,206 @@
+// DDSketch tests: the relative-error guarantee against exact percentiles,
+// merge associativity/losslessness, the hard memory bound under collapse,
+// and the Samples-compatible edge-case conventions.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "sim/rng.h"
+#include "stats/ddsketch.h"
+#include "stats/samples.h"
+
+namespace presto::stats {
+namespace {
+
+/// Log-uniform sample stream over [1e-1, 1e5): dense order statistics, so
+/// interpolated exact percentiles and rank-based sketch estimates agree to
+/// well within alpha.
+std::vector<double> log_uniform_stream(std::size_t n, std::uint64_t seed) {
+  sim::Rng rng(seed);
+  std::vector<double> v;
+  v.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    v.push_back(std::pow(10.0, -1.0 + 6.0 * rng.uniform()));
+  }
+  return v;
+}
+
+TEST(DDSketch, PercentilesWithinAlphaOfExact) {
+  const auto values = log_uniform_stream(50'000, 42);
+  Samples exact;
+  DDSketch sketch;  // default alpha = 0.005
+  for (double v : values) {
+    exact.add(v);
+    sketch.add(v);
+  }
+  ASSERT_EQ(sketch.count(), exact.count());
+  for (double p : {1.0, 5.0, 10.0, 25.0, 50.0, 75.0, 90.0, 95.0, 99.0,
+                   99.9}) {
+    const double e = exact.percentile(p);
+    const double s = sketch.percentile(p);
+    EXPECT_NEAR(s, e, e * (sketch.alpha() + 0.002))
+        << "p" << p << " exact=" << e << " sketch=" << s;
+  }
+  EXPECT_DOUBLE_EQ(sketch.min(), exact.min());
+  EXPECT_DOUBLE_EQ(sketch.max(), exact.max());
+  EXPECT_NEAR(sketch.mean(), exact.mean(), exact.mean() * 1e-9);
+}
+
+TEST(DDSketch, WithinOnePercentOfExactAtDefaultAlpha) {
+  // The acceptance bound the harness relies on: default-accuracy sketches
+  // stay within 1% of exact Samples percentiles.
+  const auto values = log_uniform_stream(20'000, 7);
+  Samples exact;
+  DDSketch sketch;
+  for (double v : values) {
+    exact.add(v);
+    sketch.add(v);
+  }
+  for (double p : {50.0, 90.0, 99.0}) {
+    const double e = exact.percentile(p);
+    EXPECT_NEAR(sketch.percentile(p), e, e * 0.01) << "p" << p;
+  }
+}
+
+TEST(DDSketch, MergeEqualsSingleSketchAndIsAssociative) {
+  const auto values = log_uniform_stream(9'000, 99);
+  DDSketch whole;
+  DDSketch a, b, c;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    whole.add(values[i]);
+    (i % 3 == 0 ? a : i % 3 == 1 ? b : c).add(values[i]);
+  }
+
+  DDSketch ab_c = a;   // (a + b) + c
+  ab_c.merge(b);
+  ab_c.merge(c);
+  DDSketch bc = b;     // a + (b + c)
+  bc.merge(c);
+  DDSketch a_bc = a;
+  a_bc.merge(bc);
+
+  ASSERT_EQ(ab_c.count(), whole.count());
+  ASSERT_EQ(a_bc.count(), whole.count());
+  for (double p : {0.0, 10.0, 50.0, 90.0, 99.0, 99.9, 100.0}) {
+    // Same-grid merges are lossless: all three sketches hold identical
+    // bucket counts, so every quantile matches exactly.
+    EXPECT_DOUBLE_EQ(ab_c.percentile(p), whole.percentile(p)) << "p" << p;
+    EXPECT_DOUBLE_EQ(a_bc.percentile(p), whole.percentile(p)) << "p" << p;
+  }
+  EXPECT_DOUBLE_EQ(ab_c.mean(), a_bc.mean());
+}
+
+TEST(DDSketch, MergeWithEmptyIsIdentity) {
+  DDSketch s;
+  s.add(1.0);
+  s.add(2.0);
+  DDSketch empty;
+  s.merge(empty);
+  EXPECT_EQ(s.count(), 2u);
+  DDSketch other;
+  other.merge(s);
+  EXPECT_EQ(other.count(), 2u);
+  EXPECT_DOUBLE_EQ(other.min(), 1.0);
+  EXPECT_DOUBLE_EQ(other.max(), 2.0);
+}
+
+TEST(DDSketch, MismatchedAlphaMergeKeepsCountsAndApproximateShape) {
+  DDSketch coarse(0.02);
+  DDSketch fine(0.005);
+  const auto values = log_uniform_stream(4'000, 5);
+  Samples exact;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    exact.add(values[i]);
+    (i % 2 == 0 ? coarse : fine).add(values[i]);
+  }
+  coarse.merge(fine);
+  ASSERT_EQ(coarse.count(), exact.count());
+  for (double p : {25.0, 50.0, 90.0}) {
+    const double e = exact.percentile(p);
+    // Re-keying midpoints adds the two grids' errors.
+    EXPECT_NEAR(coarse.percentile(p), e, e * 0.05) << "p" << p;
+  }
+}
+
+TEST(DDSketch, BucketCountStaysBoundedUnderCollapse) {
+  DDSketch s(0.005, /*max_buckets=*/64);
+  sim::Rng rng(11);
+  for (int i = 0; i < 100'000; ++i) {
+    // ~12 decades of dynamic range: far more than 64 buckets can span.
+    s.add(std::pow(10.0, -4.0 + 12.0 * rng.uniform()));
+  }
+  EXPECT_LE(s.bucket_count(), 64u);
+  EXPECT_GT(s.collapsed(), 0u);
+  EXPECT_EQ(s.count(), 100'000u);
+  // The tail keeps its accuracy: collapse only eats the lowest buckets. At
+  // alpha=0.005 the 64 retained buckets span a factor of ~1.9 below the
+  // max, which comfortably covers p99 of this log-uniform stream.
+  Samples exact;
+  sim::Rng rng2(11);
+  for (int i = 0; i < 100'000; ++i) {
+    exact.add(std::pow(10.0, -4.0 + 12.0 * rng2.uniform()));
+  }
+  for (double p : {99.0, 99.5, 99.9}) {
+    const double e = exact.percentile(p);
+    EXPECT_NEAR(s.percentile(p), e, e * 0.01) << "p" << p;
+  }
+}
+
+TEST(DDSketch, HandlesZeroAndNegativeValues) {
+  DDSketch s;
+  s.add(0.0);
+  s.add(1e-12);   // below kMinIndexable -> zero bucket
+  s.add(-5.0);
+  s.add(-50.0);
+  s.add(10.0);
+  EXPECT_EQ(s.count(), 5u);
+  EXPECT_DOUBLE_EQ(s.min(), -50.0);
+  EXPECT_DOUBLE_EQ(s.max(), 10.0);
+  EXPECT_DOUBLE_EQ(s.percentile(0), -50.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 10.0);
+  // Median is the zero bucket (two negatives below, zero-ish pair, one pos).
+  EXPECT_NEAR(s.percentile(50), 0.0, 1e-9);
+  const double p25 = s.percentile(25);
+  EXPECT_NEAR(p25, -5.0, 5.0 * 0.011);
+}
+
+TEST(DDSketch, EmptyAndSingleValueConventionsMatchSamples) {
+  DDSketch empty;
+  EXPECT_TRUE(empty.empty());
+  EXPECT_EQ(empty.count(), 0u);
+  EXPECT_DOUBLE_EQ(empty.percentile(50), 0.0);
+  EXPECT_DOUBLE_EQ(empty.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(empty.min(), 0.0);
+  EXPECT_DOUBLE_EQ(empty.max(), 0.0);
+
+  DDSketch one;
+  one.add(3.25);
+  for (double p : {-5.0, 0.0, 50.0, 100.0, 400.0,
+                   std::nan("")}) {
+    EXPECT_NEAR(one.percentile(p), 3.25, 3.25 * 0.011) << "p" << p;
+  }
+  // p<=0 / p>=100 return the exact extremes, like Samples.
+  EXPECT_DOUBLE_EQ(one.percentile(0), 3.25);
+  EXPECT_DOUBLE_EQ(one.percentile(100), 3.25);
+}
+
+TEST(DDSketch, IgnoresNaNValues) {
+  DDSketch s;
+  s.add(std::nan(""));
+  s.add(1.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.percentile(50), 1.0);
+}
+
+TEST(DDSketch, OfSamplesBridgesExactCollectors) {
+  Samples exact;
+  for (int i = 1; i <= 1000; ++i) exact.add(static_cast<double>(i));
+  const DDSketch s = DDSketch::of(exact);
+  EXPECT_EQ(s.count(), 1000u);
+  EXPECT_NEAR(s.percentile(50), exact.percentile(50),
+              exact.percentile(50) * 0.011);
+}
+
+}  // namespace
+}  // namespace presto::stats

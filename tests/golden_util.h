@@ -231,7 +231,7 @@ inline harness::RunResult golden_table1_run() {
   ex.sim().run_until(stop + 100 * sim::kMillisecond);  // drain
 
   harness::RunResult r;
-  r.fct_ms = *mice;
+  r.fct_ms = stats::DDSketch::of(*mice);
   r.per_flow_gbps = elephants->values();
   r.avg_tput_gbps = elephants->mean();
   r.executed_events = ex.sim().executed();

@@ -1,0 +1,442 @@
+// Open-loop workload engine tests: generator determinism, offered-load
+// accuracy, incast synchronization, mix composition, trace replay parsing,
+// empirical-CDF validation (including the builtin == data-file lock), and
+// the run_openloop golden sketch-vs-exact equivalence.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "harness/openloop.h"
+#include "workload/openloop/empirical_cdf.h"
+#include "workload/openloop/generator.h"
+#include "workload/openloop/replay.h"
+
+#ifndef PRESTO_DATA_DIR
+#define PRESTO_DATA_DIR "data"
+#endif
+
+namespace presto::workload::openloop {
+namespace {
+
+std::vector<FlowEvent> take(FlowGenerator& gen, std::size_t n) {
+  std::vector<FlowEvent> out;
+  FlowEvent ev;
+  while (out.size() < n && gen.next(&ev)) out.push_back(ev);
+  return out;
+}
+
+bool same_event(const FlowEvent& a, const FlowEvent& b) {
+  return a.at == b.at && a.src == b.src && a.dst == b.dst &&
+         a.bytes == b.bytes && a.tenant == b.tenant && a.incast == b.incast;
+}
+
+OpenLoopGenerator::Config base_config(std::uint64_t seed) {
+  OpenLoopGenerator::Config cfg;
+  cfg.sizes = &EmpiricalCdf::websearch();
+  cfg.arrival.load = 0.5;
+  cfg.seed = seed;
+  return cfg;
+}
+
+TEST(OpenLoopGenerator, SameSeedSameStream) {
+  OpenLoopGenerator a(base_config(77));
+  OpenLoopGenerator b(base_config(77));
+  const auto ea = take(a, 5000);
+  const auto eb = take(b, 5000);
+  ASSERT_EQ(ea.size(), 5000u);
+  for (std::size_t i = 0; i < ea.size(); ++i) {
+    ASSERT_TRUE(same_event(ea[i], eb[i])) << "diverged at event " << i;
+  }
+}
+
+TEST(OpenLoopGenerator, DifferentSeedsDifferentStreams) {
+  OpenLoopGenerator a(base_config(77));
+  OpenLoopGenerator b(base_config(78));
+  const auto ea = take(a, 200);
+  const auto eb = take(b, 200);
+  std::size_t same = 0;
+  for (std::size_t i = 0; i < ea.size(); ++i) {
+    if (same_event(ea[i], eb[i])) ++same;
+  }
+  EXPECT_LT(same, ea.size() / 2);
+}
+
+TEST(OpenLoopGenerator, EventsAreTimeOrderedCrossRackAndValid) {
+  auto cfg = base_config(3);
+  OpenLoopGenerator gen(cfg);
+  const auto events = take(gen, 3000);
+  sim::Time prev = 0;
+  for (const FlowEvent& ev : events) {
+    EXPECT_GE(ev.at, prev);
+    prev = ev.at;
+    EXPECT_LT(ev.src, cfg.hosts);
+    EXPECT_LT(ev.dst, cfg.hosts);
+    EXPECT_NE(ev.src, ev.dst);
+    EXPECT_NE(ev.src / cfg.hosts_per_rack, ev.dst / cfg.hosts_per_rack);
+    EXPECT_GT(ev.bytes, 0u);
+  }
+}
+
+TEST(OpenLoopGenerator, OfferedLoadTracksTarget) {
+  for (double load : {0.2, 0.8}) {
+    auto cfg = base_config(1234);
+    cfg.arrival.load = load;
+    OpenLoopGenerator gen(cfg);
+    // Accumulate ~4 simulated seconds of arrivals across all 16 sources.
+    const sim::Time horizon = 4 * sim::kSecond;
+    std::uint64_t bytes = 0;
+    FlowEvent ev;
+    while (gen.next(&ev) && ev.at < horizon) bytes += ev.bytes;
+    const double offered_bps = 8.0 * static_cast<double>(bytes) /
+                               sim::to_seconds(horizon) /
+                               static_cast<double>(cfg.hosts);
+    const double target_bps = load * cfg.arrival.link_rate_bps;
+    EXPECT_NEAR(offered_bps, target_bps, target_bps * 0.10)
+        << "load " << load;
+  }
+}
+
+TEST(ArrivalProcess, ParetoGapsMatchConfiguredMean) {
+  ArrivalConfig cfg;
+  cfg.process = ArrivalConfig::Process::kPareto;
+  cfg.load = 0.5;
+  ArrivalProcess arr(cfg, /*mean_flow_bytes=*/1e6);
+  sim::Rng rng(9);
+  double sum = 0;
+  const int n = 200'000;
+  for (int i = 0; i < n; ++i) {
+    const sim::Time gap = arr.next_gap(rng);
+    ASSERT_GT(gap, 0);
+    sum += static_cast<double>(gap);
+  }
+  // The 1000x-mean cap trims a little tail mass; allow 10%.
+  EXPECT_NEAR(sum / n, arr.mean_gap_ns(), arr.mean_gap_ns() * 0.10);
+}
+
+TEST(IncastGenerator, EpochsAreSynchronizedAndRotate) {
+  IncastGenerator::Config cfg;
+  cfg.hosts = 16;
+  cfg.fanin = 8;
+  cfg.interval = 10 * sim::kMillisecond;
+  IncastGenerator gen(cfg);
+  sim::Time prev_epoch = 0;
+  for (int epoch = 0; epoch < 5; ++epoch) {
+    const auto events = take(gen, cfg.fanin);
+    ASSERT_EQ(events.size(), cfg.fanin);
+    const sim::Time at = events[0].at;
+    EXPECT_EQ(at, (epoch + 1) * cfg.interval);
+    EXPECT_GT(at, prev_epoch);
+    prev_epoch = at;
+    const net::HostId target = events[0].dst;
+    EXPECT_EQ(target, static_cast<net::HostId>(epoch % cfg.hosts));
+    std::vector<bool> seen(cfg.hosts, false);
+    for (const FlowEvent& ev : events) {
+      EXPECT_EQ(ev.at, at) << "incast epoch not synchronized";
+      EXPECT_EQ(ev.dst, target);
+      EXPECT_NE(ev.src, target);
+      EXPECT_TRUE(ev.incast);
+      EXPECT_EQ(ev.bytes, cfg.bytes_each);
+      EXPECT_FALSE(seen[ev.src]) << "duplicate sender in epoch";
+      seen[ev.src] = true;
+    }
+  }
+}
+
+TEST(IncastGenerator, FaninClampedToHosts) {
+  IncastGenerator::Config cfg;
+  cfg.hosts = 4;
+  cfg.fanin = 100;
+  IncastGenerator gen(cfg);
+  const auto events = take(gen, 3);  // one epoch = hosts - 1 senders
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].at, events[2].at);
+}
+
+TEST(MixGenerator, MergesInTimeOrderWithTenantStamps) {
+  std::vector<std::unique_ptr<FlowGenerator>> kids;
+  kids.push_back(std::make_unique<OpenLoopGenerator>(base_config(5)));
+  IncastGenerator::Config in_cfg;
+  in_cfg.interval = sim::kMillisecond;
+  kids.push_back(std::make_unique<IncastGenerator>(in_cfg));
+  MixGenerator mix(std::move(kids));
+
+  const auto events = take(mix, 4000);
+  ASSERT_EQ(events.size(), 4000u);
+  sim::Time prev = 0;
+  bool saw_tenant0 = false;
+  bool saw_tenant1 = false;
+  for (const FlowEvent& ev : events) {
+    EXPECT_GE(ev.at, prev);
+    prev = ev.at;
+    if (ev.tenant == 0) {
+      saw_tenant0 = true;
+      EXPECT_FALSE(ev.incast);
+    } else {
+      ASSERT_EQ(ev.tenant, 1);
+      saw_tenant1 = true;
+      EXPECT_TRUE(ev.incast);
+    }
+  }
+  EXPECT_TRUE(saw_tenant0);
+  EXPECT_TRUE(saw_tenant1);
+}
+
+TEST(MixGenerator, FiniteChildrenExhaustCleanly) {
+  ReplayTrace trace;
+  std::string error;
+  ASSERT_TRUE(ReplayTrace::parse("0.001 0 4 1000\n0.002 1 5 2000\n", 16,
+                                 &trace, &error))
+      << error;
+  std::vector<std::unique_ptr<FlowGenerator>> kids;
+  kids.push_back(std::make_unique<ReplayGenerator>(trace));
+  MixGenerator mix(std::move(kids));
+  FlowEvent ev;
+  EXPECT_TRUE(mix.next(&ev));
+  EXPECT_TRUE(mix.next(&ev));
+  EXPECT_FALSE(mix.next(&ev));
+}
+
+// ---------------------------------------------------------------- replay --
+
+TEST(ReplayTrace, ParsesWhitespaceAndCsvWithComments) {
+  const std::string text =
+      "# a trace\n"
+      "0.0, 0, 4, 1000\n"
+      "0.5 1 5 2000 3   # tenant 3\n";
+  ReplayTrace trace;
+  std::string error;
+  ASSERT_TRUE(ReplayTrace::parse(text, 16, &trace, &error)) << error;
+  ASSERT_EQ(trace.flows().size(), 2u);
+  EXPECT_EQ(trace.flows()[0].at, 0);
+  EXPECT_EQ(trace.flows()[1].at, 500 * sim::kMillisecond);
+  EXPECT_EQ(trace.flows()[1].tenant, 3);
+  EXPECT_EQ(trace.total_bytes(), 3000u);
+}
+
+TEST(ReplayTrace, RoundTripsThroughToText) {
+  ReplayTrace trace;
+  std::string error;
+  ASSERT_TRUE(ReplayTrace::parse(
+      "0.001 0 4 1000\n0.25 3 9 123456 7\n", 16, &trace, &error));
+  ReplayTrace again;
+  ASSERT_TRUE(ReplayTrace::parse(trace.to_text(), 16, &again, &error))
+      << error;
+  ASSERT_EQ(again.flows().size(), trace.flows().size());
+  for (std::size_t i = 0; i < again.flows().size(); ++i) {
+    EXPECT_EQ(again.flows()[i].at, trace.flows()[i].at);
+    EXPECT_EQ(again.flows()[i].src, trace.flows()[i].src);
+    EXPECT_EQ(again.flows()[i].dst, trace.flows()[i].dst);
+    EXPECT_EQ(again.flows()[i].bytes, trace.flows()[i].bytes);
+    EXPECT_EQ(again.flows()[i].tenant, trace.flows()[i].tenant);
+  }
+}
+
+TEST(ReplayTrace, RejectsMalformedInputWithLineNumbers) {
+  const struct {
+    const char* text;
+    const char* want;  // substring of the diagnostic
+  } cases[] = {
+      {"0.1 0 4\n", "line 1: expected"},
+      {"0.1 0 4 1000\n0.05 1 5 1000\n", "line 2: start times"},
+      {"0.1 3 3 1000\n", "line 1: src and dst"},
+      {"0.1 0 4 0\n", "line 1: bytes"},
+      {"-1 0 4 1000\n", "line 1: start time"},
+      {"0.1 0 99 1000\n", "line 1: host id out of range"},
+      {"0.1 0 4 1000 70000\n", "line 1: tenant"},
+      {"0.1 0 4 1000 1 extra\n", "line 1: unexpected trailing"},
+      {"# only comments\n", "no flows"},
+  };
+  for (const auto& c : cases) {
+    ReplayTrace trace;
+    std::string error;
+    EXPECT_FALSE(ReplayTrace::parse(c.text, 16, &trace, &error)) << c.text;
+    EXPECT_NE(error.find(c.want), std::string::npos)
+        << "input: " << c.text << "error: " << error;
+  }
+}
+
+TEST(ReplayTrace, HostBoundsCheckSkippedWhenHostsUnknown) {
+  ReplayTrace trace;
+  std::string error;
+  EXPECT_TRUE(ReplayTrace::parse("0.1 0 99 1000\n", 0, &trace, &error))
+      << error;
+}
+
+// ---------------------------------------------------------- empirical cdf --
+
+TEST(EmpiricalCdf, RejectsMalformedTablesWithLineNumbers) {
+  const struct {
+    const char* text;
+    const char* want;
+  } cases[] = {
+      {"1000 0\n2000 x\n", "line 2: expected"},
+      {"1000 0\n500 1\n", "line 2: sizes must be strictly increasing"},
+      {"1000 0.5\n2000 0.2\n3000 1\n", "line 2: CDF must be monotonic"},
+      {"-5 0\n1000 1\n", "line 1: size must be > 0"},
+      {"1000 1.5\n", "line 1: cumulative probability"},
+      {"1000 1\n", "at least 2"},
+      {"1000 0\n2000 0.9\n", "not 1"},
+  };
+  for (const auto& c : cases) {
+    EmpiricalCdf cdf;
+    std::string error;
+    EXPECT_FALSE(EmpiricalCdf::parse(c.text, &cdf, &error)) << c.text;
+    EXPECT_NE(error.find(c.want), std::string::npos)
+        << "input: " << c.text << "error: " << error;
+  }
+}
+
+TEST(EmpiricalCdf, BuiltinsMatchBundledDataFiles) {
+  for (const char* name : {"websearch", "datamining"}) {
+    EmpiricalCdf builtin;
+    std::string error;
+    ASSERT_TRUE(EmpiricalCdf::open(name, &builtin, &error)) << error;
+    EmpiricalCdf from_file;
+    const std::string path =
+        std::string(PRESTO_DATA_DIR) + "/" + name + ".cdf";
+    ASSERT_TRUE(EmpiricalCdf::load_file(path, &from_file, &error)) << error;
+    ASSERT_EQ(builtin.points().size(), from_file.points().size()) << name;
+    for (std::size_t i = 0; i < builtin.points().size(); ++i) {
+      EXPECT_EQ(builtin.points()[i].bytes, from_file.points()[i].bytes);
+      EXPECT_EQ(builtin.points()[i].cum_prob, from_file.points()[i].cum_prob);
+    }
+  }
+}
+
+TEST(EmpiricalCdf, SamplesStayInRangeAndMatchMean) {
+  const EmpiricalCdf& cdf = EmpiricalCdf::websearch();
+  sim::Rng rng(31);
+  const double lo = cdf.points().front().bytes;
+  const double hi = cdf.points().back().bytes;
+  double sum = 0;
+  const int n = 200'000;
+  for (int i = 0; i < n; ++i) {
+    const std::uint64_t b = cdf.sample(rng);
+    ASSERT_GE(static_cast<double>(b), lo);
+    ASSERT_LE(static_cast<double>(b), hi);
+    sum += static_cast<double>(b);
+  }
+  EXPECT_NEAR(sum / n, cdf.mean_bytes(), cdf.mean_bytes() * 0.05);
+}
+
+TEST(EmpiricalCdf, SizeScaleShrinksSamplesAndMean) {
+  EmpiricalCdf cdf = EmpiricalCdf::websearch();
+  const double base_mean = cdf.mean_bytes();
+  cdf.set_size_scale(0.1);
+  EXPECT_NEAR(cdf.mean_bytes(), base_mean * 0.1, base_mean * 1e-9);
+  sim::Rng rng(8);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LE(cdf.sample(rng), static_cast<std::uint64_t>(
+                                   cdf.points().back().bytes * 0.1));
+  }
+}
+
+TEST(EmpiricalCdf, OpenFallsBackToPathAndReportsMissingFiles) {
+  EmpiricalCdf cdf;
+  std::string error;
+  EXPECT_FALSE(EmpiricalCdf::open("/nonexistent/x.cdf", &cdf, &error));
+  EXPECT_NE(error.find("cannot open"), std::string::npos) << error;
+}
+
+}  // namespace
+}  // namespace presto::workload::openloop
+
+// ------------------------------------------------------------ run_openloop --
+
+namespace presto::harness {
+namespace {
+
+namespace ol = workload::openloop;
+
+OpenLoopResult small_run(bool keep_exact, std::uint64_t seed) {
+  ExperimentConfig cfg;
+  cfg.scheme = Scheme::kPresto;
+  cfg.seed = seed;
+
+  // Scaled-down sizes: plenty of completed flows in a short window.
+  static ol::EmpiricalCdf sizes = [] {
+    ol::EmpiricalCdf c = ol::EmpiricalCdf::websearch();
+    c.set_size_scale(0.05);
+    return c;
+  }();
+  ol::OpenLoopGenerator::Config gen_cfg;
+  gen_cfg.sizes = &sizes;
+  gen_cfg.arrival.load = 0.4;
+  gen_cfg.seed = seed;
+  ol::OpenLoopGenerator gen(gen_cfg);
+
+  OpenLoopOptions opt;
+  opt.warmup = 5 * sim::kMillisecond;
+  opt.measure = 40 * sim::kMillisecond;
+  opt.drain = 100 * sim::kMillisecond;
+  opt.keep_exact = keep_exact;
+  return run_openloop(cfg, gen, opt);
+}
+
+TEST(RunOpenLoop, GoldenSketchMatchesExactWithinOnePercent) {
+  const OpenLoopResult r = small_run(/*keep_exact=*/true, 4100);
+  ASSERT_GT(r.flows_measured, 1000u);
+  ASSERT_EQ(r.exact_fct_ms.count(), r.fct_ms.count());
+  for (double p : {50.0, 90.0, 99.0}) {
+    const double exact = r.exact_fct_ms.percentile(p);
+    ASSERT_GT(exact, 0.0);
+    EXPECT_NEAR(r.fct_ms.percentile(p), exact, exact * 0.01) << "p" << p;
+  }
+  EXPECT_DOUBLE_EQ(r.fct_ms.min(), r.exact_fct_ms.min());
+  EXPECT_DOUBLE_EQ(r.fct_ms.max(), r.exact_fct_ms.max());
+}
+
+TEST(RunOpenLoop, DeterminismDigestStableAcrossReruns) {
+  const OpenLoopResult a = small_run(/*keep_exact=*/false, 4100);
+  const OpenLoopResult b = small_run(/*keep_exact=*/false, 4100);
+  EXPECT_EQ(a.executed_events, b.executed_events);
+  EXPECT_EQ(a.flows_offered, b.flows_offered);
+  EXPECT_EQ(a.flows_completed, b.flows_completed);
+  EXPECT_EQ(a.offered_bytes, b.offered_bytes);
+  EXPECT_EQ(a.fct_ms.count(), b.fct_ms.count());
+  for (double p : {50.0, 99.0}) {
+    EXPECT_DOUBLE_EQ(a.fct_ms.percentile(p), b.fct_ms.percentile(p));
+  }
+}
+
+TEST(RunOpenLoop, TracksOfferedLoadAndClassifiesSizes) {
+  const OpenLoopResult r = small_run(/*keep_exact=*/false, 4100);
+  EXPECT_NEAR(r.measured_load, 0.4, 0.08);
+  EXPECT_GT(r.flows_offered, r.flows_measured);
+  EXPECT_GT(r.mice_fct_ms.count(), 0u);
+  EXPECT_LE(r.mice_fct_ms.count() + r.elephant_fct_ms.count(),
+            r.fct_ms.count());
+  // Stats memory is bounded: buckets, not per-flow samples.
+  EXPECT_LE(r.fct_ms.bucket_count(), 2 * stats::DDSketch::kDefaultMaxBuckets);
+  EXPECT_EQ(r.exact_fct_ms.count(), 0u);
+}
+
+TEST(RunOpenLoop, ReplayTraceDrivesTheFabric) {
+  ExperimentConfig cfg;
+  cfg.scheme = Scheme::kEcmp;
+  cfg.seed = 5;
+  std::string text = "# three flows\n";
+  text += "0.001 0 4 50000\n";
+  text += "0.002 1 8 50000\n";
+  text += "0.003 2 12 50000\n";
+  workload::openloop::ReplayTrace trace;
+  std::string error;
+  ASSERT_TRUE(workload::openloop::ReplayTrace::parse(text, 16, &trace,
+                                                     &error))
+      << error;
+  workload::openloop::ReplayGenerator gen(trace);
+  OpenLoopOptions opt;
+  opt.warmup = 0;
+  opt.measure = 20 * sim::kMillisecond;
+  opt.drain = 100 * sim::kMillisecond;
+  const OpenLoopResult r = run_openloop(cfg, gen, opt);
+  EXPECT_EQ(r.flows_offered, 3u);
+  EXPECT_EQ(r.flows_completed, 3u);
+  EXPECT_EQ(r.offered_bytes, trace.total_bytes());
+  EXPECT_GT(r.fct_ms.percentile(50), 0.0);
+}
+
+}  // namespace
+}  // namespace presto::harness

@@ -69,6 +69,42 @@ TEST(Samples, MergeCombines) {
   EXPECT_NEAR(a.mean(), 2, 1e-9);
 }
 
+TEST(Samples, BudgetCapsRetainedValuesAndCountsDrops) {
+  Samples s;
+  s.set_budget(10);
+  EXPECT_EQ(s.budget(), 10u);
+  for (int i = 1; i <= 25; ++i) s.add(i);
+  EXPECT_EQ(s.count(), 10u);
+  EXPECT_EQ(s.dropped(), 15u);
+  // The retained prefix still reports sane stats.
+  EXPECT_EQ(s.min(), 1);
+  EXPECT_EQ(s.max(), 10);
+}
+
+TEST(Samples, BudgetZeroKeepsCurrentBudget) {
+  Samples s;
+  s.set_budget(5);
+  s.set_budget(0);  // ignored: 0 is not a valid budget
+  EXPECT_EQ(s.budget(), 5u);
+}
+
+TEST(Samples, MergeRespectsDestinationBudget) {
+  Samples a;
+  a.set_budget(3);
+  Samples b;
+  for (int i = 0; i < 8; ++i) b.add(i);
+  EXPECT_EQ(b.dropped(), 0u);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_EQ(a.dropped(), 5u);
+}
+
+TEST(Samples, DefaultBudgetIsLarge) {
+  Samples s;
+  EXPECT_EQ(s.budget(), Samples::default_budget());
+  EXPECT_GE(s.budget(), 1'000'000u);
+}
+
 TEST(Jain, PerfectFairnessIsOne) {
   EXPECT_NEAR(jain_index({5, 5, 5, 5}), 1.0, 1e-9);
 }

@@ -108,7 +108,10 @@ TEST(RunSweep, ParallelMatchesSerialBitForBit) {
   EXPECT_EQ(a.avg_tput_gbps, b.avg_tput_gbps);
   EXPECT_EQ(a.fairness, b.fairness);
   EXPECT_EQ(a.loss_pct, b.loss_pct);
-  EXPECT_EQ(a.rtt_ms.values(), b.rtt_ms.values());
+  EXPECT_EQ(a.rtt_ms.count(), b.rtt_ms.count());
+  for (double p : {0.0, 50.0, 99.0, 100.0}) {
+    EXPECT_EQ(a.rtt_ms.percentile(p), b.rtt_ms.percentile(p)) << "p" << p;
+  }
   EXPECT_EQ(a.telemetry.counters, b.telemetry.counters);
   ASSERT_EQ(a.runs.size(), b.runs.size());
   for (std::size_t i = 0; i < a.runs.size(); ++i) {

@@ -1,6 +1,7 @@
 // Workload layer tests: patterns, trace distribution, RPC apps.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <set>
 
 #include "test_util.h"
@@ -74,6 +75,78 @@ TEST(TraceDist, SamplesInRangeAndHeavyTailed) {
   // ...but elephants exist and dominate bytes.
   EXPECT_GT(elephants, 100u);
   EXPECT_NEAR(total / n, dist.mean_bytes(), dist.mean_bytes() * 0.2);
+}
+
+TEST(TraceDist, FromBandsValidatesTables) {
+  TraceFlowDist dist(10.0);
+  std::string error;
+  // A valid custom table round-trips.
+  EXPECT_TRUE(TraceFlowDist::from_bands(
+      {{0.5, 100, 1000}, {0.5, 1000, 10000}}, 1.0, &dist, &error))
+      << error;
+  EXPECT_EQ(dist.bands().size(), 2u);
+
+  const struct {
+    std::vector<TraceFlowDist::Band> bands;
+    const char* want;
+  } cases[] = {
+      {{}, "empty"},
+      {{{0.0, 100, 1000}, {1.0, 1000, 2000}}, "band 1: probability mass"},
+      {{{0.5, 1000, 100}, {0.5, 1000, 2000}}, "band 1: size range"},
+      {{{0.5, 100, 1000}, {0.5, 500, 2000}}, "band 2: lo 500 overlaps"},
+      {{{0.4, 100, 1000}, {0.4, 1000, 2000}}, "sum to 0.8, not 1"},
+  };
+  for (const auto& c : cases) {
+    EXPECT_FALSE(TraceFlowDist::from_bands(c.bands, 1.0, &dist, &error));
+    EXPECT_NE(error.find(c.want), std::string::npos) << error;
+  }
+
+  EXPECT_FALSE(TraceFlowDist::from_bands({{1.0, 100, 1000}}, 0.0, &dist,
+                                         &error));
+  EXPECT_NE(error.find("scale"), std::string::npos) << error;
+}
+
+TEST(TraceDist, ParseReportsLineNumbers) {
+  TraceFlowDist dist(10.0);
+  std::string error;
+  const char* good =
+      "# prob lo hi\n"
+      "0.6 100 1e4\n"
+      "0.4 1e4 1e6  # tail\n";
+  ASSERT_TRUE(TraceFlowDist::parse(good, 1.0, &dist, &error)) << error;
+  ASSERT_EQ(dist.bands().size(), 2u);
+  EXPECT_DOUBLE_EQ(dist.bands()[1].hi, 1e6);
+
+  const struct {
+    const char* text;
+    const char* want;
+  } cases[] = {
+      {"0.6 100\n", "line 1: expected `prob lo_bytes hi_bytes`"},
+      {"0.6 100 1e4 junk\n", "line 1: expected"},
+      {"0.6 100 1e4\n\n0.4 50 1e6\n", "line 3: lo 50 overlaps"},
+      {"0.6 1e4 100\n0.4 1e4 1e6\n", "line 1: size range"},
+      {"0.6 100 1e4\n0.3 1e4 1e6\n", "sum to 0.9, not 1"},
+      {"# nothing\n", "empty"},
+  };
+  for (const auto& c : cases) {
+    EXPECT_FALSE(TraceFlowDist::parse(c.text, 1.0, &dist, &error)) << c.text;
+    EXPECT_NE(error.find(c.want), std::string::npos)
+        << "input: " << c.text << "error: " << error;
+  }
+}
+
+TEST(TraceDist, CustomBandsSampleWithinRanges) {
+  TraceFlowDist dist(10.0);
+  std::string error;
+  ASSERT_TRUE(TraceFlowDist::parse("1.0 100 1000\n", 2.0, &dist, &error));
+  sim::Rng rng(4);
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t s = dist.sample(rng);
+    EXPECT_GE(s, 200u);
+    EXPECT_LE(s, 2000u);
+  }
+  EXPECT_NEAR(dist.mean_bytes(),
+              2.0 * (1000.0 - 100.0) / std::log(10.0), 1e-6);
 }
 
 TEST(RpcChannel, MeasuresRequestResponseTime) {

@@ -26,7 +26,7 @@
 #include <string>
 #include <vector>
 
-#include "stats/samples.h"
+#include "stats/ddsketch.h"
 #include "telemetry/json_parse.h"
 
 namespace {
@@ -116,7 +116,7 @@ struct Components {
 /// is reorder wait. `hop_queueing` collects the per-hop waits.
 Components span_components(
     const SpanRec& s,
-    std::map<std::pair<std::uint32_t, int>, presto::stats::Samples>*
+    std::map<std::pair<std::uint32_t, int>, presto::stats::DDSketch>*
         hop_queueing) {
   Components c;
   c.total_us = s.end_us - s.begin_us;
@@ -153,7 +153,7 @@ Components span_components(
 }
 
 void print_row(const std::string& label, std::size_t n, const char* metric,
-               const presto::stats::Samples& s) {
+               const presto::stats::DDSketch& s) {
   std::printf("%-8s %7zu  %-14s %10.3f %10.3f %10.3f %10.3f\n", label.c_str(),
               n, metric, s.percentile(50), s.percentile(90), s.percentile(99),
               s.max());
@@ -263,14 +263,14 @@ int main(int argc, char** argv) {
   std::size_t selected = 0;
   // label tree -> component samples; -1 catches non-shadow labels.
   struct LabelStats {
-    presto::stats::Samples total;
-    presto::stats::Samples queueing;
-    presto::stats::Samples reorder;
+    presto::stats::DDSketch total;
+    presto::stats::DDSketch queueing;
+    presto::stats::DDSketch reorder;
     std::size_t spans = 0;
   };
   std::map<int, LabelStats> by_label;
   LabelStats all;
-  std::map<std::pair<std::uint32_t, int>, presto::stats::Samples> hop_queueing;
+  std::map<std::pair<std::uint32_t, int>, presto::stats::DDSketch> hop_queueing;
 
   for (const auto& [id, s] : spans) {
     if (!s.has_end) continue;
