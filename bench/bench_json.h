@@ -8,6 +8,7 @@
 //
 // Output: <outdir>/<bench>.json with schema presto.bench v1:
 //   { "schema", "schema_version", "bench", "seeds", "time_scale",
+//     "warnings": { "samples_dropped", "sketch_collapsed" },
 //     "points": [ { "label", "scheme", "params": {...},
 //                   "metrics": {..., "rtt_ms": {...}, "fct_ms": {...}},
 //                   "telemetry": {counters/gauges/histograms/trace} } ] }
@@ -22,6 +23,7 @@
 
 #include "harness/sweep.h"
 #include "stats/ddsketch.h"
+#include "stats/samples.h"
 #include "telemetry/json.h"
 
 namespace presto::bench {
@@ -154,6 +156,8 @@ class JsonReporter {
     w.begin_object();
     w.key("count");
     w.value(static_cast<std::uint64_t>(s.count()));
+    w.key("collapsed");
+    w.value(s.collapsed());
     w.key("mean");
     w.value(s.mean());
     for (const auto& [name, p] :
@@ -180,6 +184,20 @@ class JsonReporter {
     w.value(doc_seeds_);
     w.key("time_scale");
     w.value(doc_time_scale_);
+    // Statistics-quality warnings: nonzero values mean some reported
+    // numbers rest on truncated or resolution-degraded sample streams
+    // (Samples budget exhaustion; DDSketch low-end store collapse).
+    std::uint64_t sketch_collapsed = 0;
+    for (const Point& p : points_) {
+      sketch_collapsed += p.rtt_ms.collapsed() + p.fct_ms.collapsed();
+    }
+    w.key("warnings");
+    w.begin_object();
+    w.key("samples_dropped");
+    w.value(stats::Samples::total_dropped());
+    w.key("sketch_collapsed");
+    w.value(sketch_collapsed);
+    w.end_object();
     w.key("points");
     w.begin_array();
     for (const Point& p : points_) {

@@ -32,6 +32,8 @@ const char* oracle_kind_name(OracleKind k) {
     case OracleKind::kTopology: return "topology";
     case OracleKind::kQuarantine: return "quarantine";
     case OracleKind::kLiveness: return "liveness";
+    case OracleKind::kLeak: return "leak";
+    case OracleKind::kDifferential: return "differential";
   }
   return "?";
 }
@@ -137,10 +139,38 @@ std::uint32_t Checker::tree_key(const net::Packet& p) const {
                                        : kNoTreeKey;
 }
 
+void Checker::live_insert(const net::Packet& p, sim::Time now) {
+  auto& tok = flows_[p.flow].live[{p.seq, p.payload}];
+  ++tok.count;
+  tok.last_touch = now;
+  tok.reported = false;
+}
+
+void Checker::live_touch(const net::Packet& p, sim::Time now) {
+  const auto fit = flows_.find(p.flow);
+  if (fit == flows_.end()) return;
+  const auto it = fit->second.live.find({p.seq, p.payload});
+  if (it != fit->second.live.end()) it->second.last_touch = now;
+}
+
+void Checker::live_erase(const net::Packet& p) {
+  const auto fit = flows_.find(p.flow);
+  if (fit == flows_.end()) return;
+  auto& live = fit->second.live;
+  const auto it = live.find({p.seq, p.payload});
+  if (it == live.end()) return;
+  if (--it->second.count == 0) live.erase(it);
+}
+
 void Checker::on_port_enqueue(std::uint32_t node, net::PortId port,
                               const net::Packet& p) {
   (void)port;
-  if ((node & net::kHostNodeBit) == 0) return;  // transit hop, not injection
+  if ((node & net::kHostNodeBit) == 0) {
+    // Transit hop: not an injection, but the frame is demonstrably still
+    // moving — refresh its leak clock.
+    if (opt_.leak && p.payload > 0) live_touch(p, ex_.sim().now());
+    return;
+  }
   const net::HostId h = node & ~net::kHostNodeBit;
   if (opt_.topology && p.src_host != h) {
     add_violation(OracleKind::kTopology,
@@ -153,12 +183,13 @@ void Checker::on_port_enqueue(std::uint32_t node, net::PortId port,
     fa.injected_payload += p.payload;
     ++trees_[tree_key(p)].injected_frames;
   }
+  if (opt_.leak && p.payload > 0) live_insert(p, ex_.sim().now());
 }
 
 void Checker::on_drop(std::uint32_t node, net::PortId port,
                       const net::Packet& p, net::TapDropCause cause) {
   (void)port;
-  if (!opt_.conservation) return;
+  if (!opt_.conservation && !opt_.leak) return;
   // At-enqueue rejection by the sender's own uplink: the frame never made
   // it into the network, so it never entered the books either.
   if ((node & net::kHostNodeBit) != 0 &&
@@ -167,10 +198,15 @@ void Checker::on_drop(std::uint32_t node, net::PortId port,
       (node & ~net::kHostNodeBit) == p.src_host) {
     return;
   }
-  FlowAudit& fa = flows_[p.flow];
-  ++fa.dropped_frames;
-  fa.dropped_payload += p.payload;
-  ++trees_[tree_key(p)].dropped_frames;
+  if (opt_.conservation) {
+    FlowAudit& fa = flows_[p.flow];
+    ++fa.dropped_frames;
+    fa.dropped_payload += p.payload;
+    ++trees_[tree_key(p)].dropped_frames;
+  }
+  // An attributed drop is a legitimate end of life: the frame is off the
+  // leak books.
+  if (opt_.leak && p.payload > 0) live_erase(p);
 }
 
 void Checker::on_switch_rx(net::SwitchId sw, net::PortId in_port,
@@ -271,6 +307,7 @@ void Checker::on_host_rx(net::HostId host, const net::Packet& p) {
       if (opt_.gro) fa.cell_arrived[p.flowcell_id].add(p.seq, end);
     }
   }
+  if (opt_.leak && p.payload > 0) live_erase(p);
   ++delivered_frames_;
   if (opt_.tcp && opt_.tcp_poll_every != 0 &&
       delivered_frames_ % opt_.tcp_poll_every == 0) {
@@ -329,6 +366,87 @@ void Checker::tcp_sweep(const char* when) {
   }
 }
 
+void Checker::receiver_checks() {
+  const std::size_t n = ex_.topo().host_count();
+  for (net::HostId h = 0; h < n; ++h) {
+    ex_.host(h).for_each_receiver([&](tcp::TcpReceiver& r) {
+      const net::FlowKey& flow = r.flow();
+      const std::uint64_t rcv_nxt = r.delivered();
+      const auto ooo = r.out_of_order().snapshot();
+      if (!ooo.empty() && ooo.front().first <= rcv_nxt) {
+        add_violation(
+            OracleKind::kTcp,
+            strf("%s receiver holds out-of-order range [%" PRIu64
+                 ", %" PRIu64 ") at/below its frontier %" PRIu64,
+                 flow_name(flow).c_str(), ooo.front().first,
+                 ooo.front().second, rcv_nxt));
+      }
+      const auto it = flows_.find(flow);
+      if (rcv_nxt > 0 &&
+          (it == flows_.end() || !it->second.arrived.covers(0, rcv_nxt))) {
+        add_violation(OracleKind::kTcp,
+                      strf("%s receiver delivered [0, %" PRIu64
+                           ") but not all of it arrived on the wire",
+                           flow_name(flow).c_str(), rcv_nxt));
+      }
+      tcp::TcpSender* snd = ex_.host(flow.src_host).find_sender(flow);
+      if (snd != nullptr) {
+        if (snd->acked_bytes() > rcv_nxt) {
+          add_violation(OracleKind::kTcp,
+                        strf("%s sender's cumulative ACK %" PRIu64
+                             " is ahead of the receiver frontier %" PRIu64,
+                             flow_name(flow).c_str(), snd->acked_bytes(),
+                             rcv_nxt));
+        }
+        if (rcv_nxt > snd->stream_end()) {
+          add_violation(OracleKind::kTcp,
+                        strf("%s receiver delivered %" PRIu64
+                             " bytes but the sender's stream ends at %" PRIu64,
+                             flow_name(flow).c_str(), rcv_nxt,
+                             snd->stream_end()));
+        }
+      }
+    });
+  }
+}
+
+void Checker::audit_epoch(sim::Time now, sim::Time leak_age) {
+  if (opt_.tcp) {
+    tcp_sweep("epoch audit");
+    receiver_checks();
+  }
+  if (opt_.leak && leak_age > 0) {
+    for (auto& [flow, fa] : flows_) {
+      for (auto& [key, tok] : fa.live) {
+        if (tok.reported || now - tok.last_touch < leak_age) continue;
+        tok.reported = true;
+        add_violation(
+            OracleKind::kLeak,
+            strf("%s frame seq %" PRIu64 " (%u bytes, x%u) in flight for "
+                 "%.3f ms without delivery or attributed drop",
+                 flow_name(flow).c_str(), key.first, key.second, tok.count,
+                 static_cast<double>(now - tok.last_touch) / 1e6));
+      }
+    }
+  }
+}
+
+void Checker::digest_state(sim::Digest& d) const {
+  for (const auto& [tree, ta] : trees_) {
+    d.mix(tree);
+    d.mix(ta.injected_frames - ta.delivered_frames - ta.dropped_frames);
+  }
+  for (const auto& [flow, fa] : flows_) {
+    sim::Digest sub;
+    sub.mix(flow.hash());
+    sub.mix(fa.injected_payload);
+    sub.mix(fa.delivered_payload);
+    sub.mix(fa.dropped_payload);
+    sub.mix(fa.live.size());
+    d.mix_unordered(sub.value());
+  }
+}
+
 void Checker::finish(bool drained) {
   if (!drained) {
     add_violation(OracleKind::kLiveness,
@@ -338,47 +456,7 @@ void Checker::finish(bool drained) {
 
   if (opt_.tcp) {
     tcp_sweep("finish");
-    const std::size_t n = ex_.topo().host_count();
-    for (net::HostId h = 0; h < n; ++h) {
-      ex_.host(h).for_each_receiver([&](tcp::TcpReceiver& r) {
-        const net::FlowKey& flow = r.flow();
-        const std::uint64_t rcv_nxt = r.delivered();
-        const auto ooo = r.out_of_order().snapshot();
-        if (!ooo.empty() && ooo.front().first <= rcv_nxt) {
-          add_violation(
-              OracleKind::kTcp,
-              strf("%s receiver holds out-of-order range [%" PRIu64
-                   ", %" PRIu64 ") at/below its frontier %" PRIu64,
-                   flow_name(flow).c_str(), ooo.front().first,
-                   ooo.front().second, rcv_nxt));
-        }
-        const auto it = flows_.find(flow);
-        if (rcv_nxt > 0 &&
-            (it == flows_.end() || !it->second.arrived.covers(0, rcv_nxt))) {
-          add_violation(OracleKind::kTcp,
-                        strf("%s receiver delivered [0, %" PRIu64
-                             ") but not all of it arrived on the wire",
-                             flow_name(flow).c_str(), rcv_nxt));
-        }
-        tcp::TcpSender* snd = ex_.host(flow.src_host).find_sender(flow);
-        if (snd != nullptr) {
-          if (snd->acked_bytes() > rcv_nxt) {
-            add_violation(OracleKind::kTcp,
-                          strf("%s sender's cumulative ACK %" PRIu64
-                               " is ahead of the receiver frontier %" PRIu64,
-                               flow_name(flow).c_str(), snd->acked_bytes(),
-                               rcv_nxt));
-          }
-          if (rcv_nxt > snd->stream_end()) {
-            add_violation(OracleKind::kTcp,
-                          strf("%s receiver delivered %" PRIu64
-                               " bytes but the sender's stream ends at %" PRIu64,
-                               flow_name(flow).c_str(), rcv_nxt,
-                               snd->stream_end()));
-          }
-        }
-      });
-    }
+    receiver_checks();
   }
 
   // Balance-sheet checks only make sense once nothing is in flight.

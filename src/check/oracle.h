@@ -39,6 +39,8 @@
 #include "harness/experiment.h"
 #include "net/flow_key.h"
 #include "net/tap.h"
+#include "sim/digest.h"
+#include "sim/time.h"
 #include "tcp/range_set.h"
 
 namespace presto::check {
@@ -50,6 +52,13 @@ enum class OracleKind : std::uint8_t {
   kTopology,
   kQuarantine,
   kLiveness,
+  /// In-flight frame aging: a frame entered the network but was neither
+  /// delivered nor destroyed-with-cause within the leak age (a mid-run
+  /// conservation check — the quiesce-only balance sheet cannot see a
+  /// silently eaten frame until the very end of a long soak).
+  kLeak,
+  /// Cross-scheme differential divergence (soak lock-step mode).
+  kDifferential,
 };
 
 const char* oracle_kind_name(OracleKind k);
@@ -76,6 +85,11 @@ struct CheckerOptions {
   std::uint32_t tcp_poll_every = 1024;
   /// Recording stops after this many violations (the count keeps rising).
   std::size_t max_violations = 64;
+  /// Track every live data frame (payload > 0) from uplink enqueue to
+  /// delivery/attributed drop so audit_epoch() can flag frames that aged out
+  /// in flight. Costs one hash-map update per frame hop; the soak driver
+  /// turns it on, plain scenario runs leave it off.
+  bool leak = false;
 };
 
 class Checker final : public net::WireTap {
@@ -91,6 +105,17 @@ class Checker final : public net::WireTap {
   /// quiesce-only checks (conservation balance, GRO completeness) are
   /// skipped — frames legitimately remain in flight.
   void finish(bool drained);
+
+  /// Mid-run audit at a soak epoch boundary: the full TCP sweep plus
+  /// receiver-frontier checks (everything from finish() that is valid while
+  /// frames are in flight), and — when leak tracking is on — a scan for
+  /// frames that entered the network more than `leak_age` ago without being
+  /// delivered or destroyed with cause. Each leaked frame is reported once.
+  void audit_epoch(sim::Time now, sim::Time leak_age);
+
+  /// Folds the checker's own books (per-label in-flight frame counts) into a
+  /// checkpoint state digest (src/check/soak).
+  void digest_state(sim::Digest& d) const;
 
   /// Records an externally detected violation (the scenario runner uses
   /// this for workload-completion liveness).
@@ -132,6 +157,16 @@ class Checker final : public net::WireTap {
     tcp::RangeSet pushed;
     /// Arrival coverage per flowcell (Presto GRO boundary differential).
     std::map<std::uint64_t, tcp::RangeSet> cell_arrived;
+    /// Live in-flight frame tokens keyed (seq, payload): inserted when the
+    /// origin host enqueues the frame, touched at every transit enqueue,
+    /// erased on delivery or attributed drop. `count` handles a
+    /// retransmission of an identical range racing the original.
+    struct LiveToken {
+      std::uint32_t count = 0;
+      sim::Time last_touch = 0;
+      bool reported = false;  ///< leak already flagged (dedup across audits)
+    };
+    std::map<std::pair<std::uint64_t, std::uint32_t>, LiveToken> live;
   };
 
   struct TreeAudit {
@@ -153,6 +188,13 @@ class Checker final : public net::WireTap {
   void on_dispatch(const net::FlowKey& flow, std::uint64_t cell,
                    net::MacAddr label, bool chosen_suspect, bool all_suspect);
   void tcp_sweep(const char* when);
+  /// Receiver-side frontier checks (valid mid-run, unlike the balance
+  /// sheet): ooo above frontier, arrived covers delivered, snd_una within
+  /// the receiver frontier, frontier within the stream.
+  void receiver_checks();
+  void live_insert(const net::Packet& p, sim::Time now);
+  void live_touch(const net::Packet& p, sim::Time now);
+  void live_erase(const net::Packet& p);
   PortOrigin origin(net::SwitchId sw, net::PortId in_port) const;
   /// Conservation bucket for a frame's forwarding label.
   std::uint32_t tree_key(const net::Packet& p) const;

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstdarg>
 #include <cstdio>
+#include <cstring>
 #include <memory>
 #include <stdexcept>
 
@@ -22,8 +23,90 @@ std::string strf(const char* fmt, ...) {
   return buf;
 }
 
-/// Stable lowercase scheme ids for the one-line spec.
-const char* scheme_id(harness::Scheme s) {
+/// Log-uniform integer in [lo, hi].
+std::uint64_t log_uniform(sim::Rng& rng, std::uint64_t lo, std::uint64_t hi) {
+  const double v = static_cast<double>(lo) *
+                   std::pow(static_cast<double>(hi) / static_cast<double>(lo),
+                            rng.uniform());
+  return static_cast<std::uint64_t>(v);
+}
+
+/// Plants a scenario's test-only defect. "eat:N" silently destroys the Nth
+/// data frame serialized anywhere in the fabric — no counter, no telemetry,
+/// no tap — which is exactly the class of accounting bug the conservation
+/// oracle exists to catch. "eat@<T>us:N" is the slow-burn variant: the
+/// eater stays dormant until the simulated clock reaches T, then destroys
+/// the Nth data frame it sees (the soak tier's acceptance bug — invisible
+/// through every epoch before T).
+void install_bug(harness::Experiment& ex, const std::string& bug) {
+  if (bug.empty()) return;
+  if (bug.rfind("eat", 0) == 0) {
+    const char* p = bug.c_str() + 3;
+    sim::Time arm_at = 0;
+    if (*p == '@') {
+      char* end = nullptr;
+      arm_at = static_cast<sim::Time>(std::strtoll(p + 1, &end, 10)) *
+               sim::kMicrosecond;
+      if (end == nullptr || std::strncmp(end, "us:", 3) != 0) {
+        throw std::invalid_argument("bug eat@<T>us:<N> is malformed: " + bug);
+      }
+      p = end + 3;
+    } else if (*p == ':') {
+      ++p;
+    } else {
+      throw std::invalid_argument("unknown scenario bug: " + bug);
+    }
+    const std::uint64_t target = std::strtoull(p, nullptr, 10);
+    if (target == 0) throw std::invalid_argument("bug eat:N needs N >= 1");
+    auto eaten = std::make_shared<std::uint64_t>(0);
+    const sim::Simulation* clk = &ex.sim();
+    net::Topology& topo = ex.topo();
+    for (net::SwitchId s = 0; s < topo.switch_count(); ++s) {
+      net::Switch& sw = topo.get_switch(s);
+      for (std::size_t i = 0; i < sw.port_count(); ++i) {
+        sw.port(static_cast<net::PortId>(i))
+            .set_test_packet_eater(
+                [eaten, target, clk, arm_at](const net::Packet& p) {
+                  if (clk->now() < arm_at) return false;
+                  if (p.payload == 0) return false;
+                  return ++*eaten == target;
+                });
+      }
+    }
+    return;
+  }
+  throw std::invalid_argument("unknown scenario bug: " + bug);
+}
+
+harness::ExperimentConfig experiment_config(const Scenario& sc) {
+  harness::ExperimentConfig cfg;
+  cfg.scheme = sc.scheme;
+  cfg.spines = sc.spines;
+  cfg.leaves = sc.leaves;
+  cfg.hosts_per_leaf = sc.hosts_per_leaf;
+  cfg.gamma = sc.gamma;
+  cfg.switch_buffer_bytes = sc.switch_buffer_bytes;
+  cfg.edge_suspicion = sc.edge_suspicion;
+  cfg.seed = sc.seed;
+  cfg.fault_plan = sc.fault_plan();
+  cfg.fault_seed = sc.seed | 1;  // pinned: shrinking must not reshuffle loss
+  return cfg;
+}
+
+CheckerOptions adjust_options(CheckerOptions opt, const Scenario& sc) {
+  // Failover bounce-back and reroutes legitimately move a tree's frames
+  // across other spines, so the strict pinning only runs fault-free.
+  opt.strict_tree_spine = opt.strict_tree_spine && sc.fault_units.empty();
+  return opt;
+}
+
+void append_list_or_dash(std::string& out, const std::string& list) {
+  out += list.empty() ? "-" : list;
+}
+
+}  // namespace
+
+const char* scheme_spec_name(harness::Scheme s) {
   switch (s) {
     case harness::Scheme::kEcmp: return "ecmp";
     case harness::Scheme::kMptcp: return "mptcp";
@@ -36,59 +119,19 @@ const char* scheme_id(harness::Scheme s) {
   return "?";
 }
 
-bool parse_scheme(const std::string& id, harness::Scheme* out) {
+bool parse_scheme_name(const std::string& id, harness::Scheme* out) {
   for (harness::Scheme s :
        {harness::Scheme::kEcmp, harness::Scheme::kMptcp,
         harness::Scheme::kPresto, harness::Scheme::kOptimal,
         harness::Scheme::kFlowlet, harness::Scheme::kPrestoEcmp,
         harness::Scheme::kPerPacket}) {
-    if (id == scheme_id(s)) {
+    if (id == scheme_spec_name(s)) {
       *out = s;
       return true;
     }
   }
   return false;
 }
-
-/// Log-uniform integer in [lo, hi].
-std::uint64_t log_uniform(sim::Rng& rng, std::uint64_t lo, std::uint64_t hi) {
-  const double v = static_cast<double>(lo) *
-                   std::pow(static_cast<double>(hi) / static_cast<double>(lo),
-                            rng.uniform());
-  return static_cast<std::uint64_t>(v);
-}
-
-/// Plants a scenario's test-only defect. "eat:N" silently destroys the Nth
-/// data frame serialized anywhere in the fabric — no counter, no telemetry,
-/// no tap — which is exactly the class of accounting bug the conservation
-/// oracle exists to catch.
-void install_bug(harness::Experiment& ex, const std::string& bug) {
-  if (bug.empty()) return;
-  if (bug.rfind("eat:", 0) == 0) {
-    const std::uint64_t target = std::strtoull(bug.c_str() + 4, nullptr, 10);
-    if (target == 0) throw std::invalid_argument("bug eat:N needs N >= 1");
-    auto eaten = std::make_shared<std::uint64_t>(0);
-    net::Topology& topo = ex.topo();
-    for (net::SwitchId s = 0; s < topo.switch_count(); ++s) {
-      net::Switch& sw = topo.get_switch(s);
-      for (std::size_t i = 0; i < sw.port_count(); ++i) {
-        sw.port(static_cast<net::PortId>(i))
-            .set_test_packet_eater([eaten, target](const net::Packet& p) {
-              if (p.payload == 0) return false;
-              return ++*eaten == target;
-            });
-      }
-    }
-    return;
-  }
-  throw std::invalid_argument("unknown scenario bug: " + bug);
-}
-
-void append_list_or_dash(std::string& out, const std::string& list) {
-  out += list.empty() ? "-" : list;
-}
-
-}  // namespace
 
 std::string Scenario::fault_plan() const {
   std::string plan;
@@ -104,7 +147,7 @@ std::string Scenario::to_string() const {
       "seed=%" PRIu64
       " scheme=%s spines=%u leaves=%u hpl=%u gamma=%u buf=%" PRIu64
       " suspicion=%d cap_us=%" PRId64,
-      seed, scheme_id(scheme), spines, leaves, hosts_per_leaf, gamma,
+      seed, scheme_spec_name(scheme), spines, leaves, hosts_per_leaf, gamma,
       switch_buffer_bytes, edge_suspicion ? 1 : 0,
       static_cast<std::int64_t>(cap / sim::kMicrosecond));
   out += " flows=";
@@ -177,7 +220,7 @@ bool Scenario::parse(const std::string& text, Scenario* out,
     if (key == "seed") {
       if (!as_u64(&sc.seed)) return fail("bad seed");
     } else if (key == "scheme") {
-      if (!parse_scheme(value, &sc.scheme)) return fail("bad scheme: " + value);
+      if (!parse_scheme_name(value, &sc.scheme)) return fail("bad scheme: " + value);
     } else if (key == "spines") {
       if (!as_u64(&u)) return fail("bad spines");
       sc.spines = static_cast<std::uint32_t>(u);
@@ -367,66 +410,86 @@ Scenario Scenario::generate(std::uint64_t seed) {
   return sc;
 }
 
-RunOutcome run_scenario(const Scenario& sc, CheckerOptions opt) {
-  harness::ExperimentConfig cfg;
-  cfg.scheme = sc.scheme;
-  cfg.spines = sc.spines;
-  cfg.leaves = sc.leaves;
-  cfg.hosts_per_leaf = sc.hosts_per_leaf;
-  cfg.gamma = sc.gamma;
-  cfg.switch_buffer_bytes = sc.switch_buffer_bytes;
-  cfg.edge_suspicion = sc.edge_suspicion;
-  cfg.seed = sc.seed;
-  cfg.fault_plan = sc.fault_plan();
-  cfg.fault_seed = sc.seed | 1;  // pinned: shrinking must not reshuffle loss
+ScenarioRun::ScenarioRun(const Scenario& sc, CheckerOptions opt)
+    : sc_(sc), ex_(experiment_config(sc)), chk_(ex_, adjust_options(opt, sc)) {
+  chk_.arm();
+  install_bug(ex_, sc_.bug);
 
-  harness::Experiment ex(cfg);
-  // Failover bounce-back and reroutes legitimately move a tree's frames
-  // across other spines, so the strict pinning only runs fault-free.
-  opt.strict_tree_spine = opt.strict_tree_spine && sc.fault_units.empty();
-  Checker chk(ex, opt);
-  chk.arm();
-  install_bug(ex, sc.bug);
-
-  std::size_t expected = 0;
-  std::size_t completed = 0;
-  for (const FlowSpec& f : sc.flows) {
-    ++expected;
-    ex.add_elephant(f.src, f.dst, f.bytes,
-                    [&completed](sim::Time) { ++completed; });
+  // Workload build/schedule order is load-bearing: it fixes event-queue
+  // insertion order and every RNG draw, and replay-based checkpointing
+  // (src/check/soak) depends on two ScenarioRuns of the same Scenario
+  // executing identical event sequences.
+  for (const FlowSpec& f : sc_.flows) {
+    ++expected_;
+    ex_.add_elephant(f.src, f.dst, f.bytes,
+                     [this](sim::Time) { ++completed_; });
   }
-  for (const RpcSpec& r : sc.rpcs) {
-    workload::RpcChannel& ch = ex.open_rpc(r.src, r.dst);
+  for (const RpcSpec& r : sc_.rpcs) {
+    workload::RpcChannel& ch = ex_.open_rpc(r.src, r.dst);
     for (std::uint32_t i = 0; i < r.count; ++i) {
-      ++expected;
-      ex.sim().schedule_at(
+      ++expected_;
+      ex_.sim().schedule_at(
           static_cast<sim::Time>(i) * 200 * sim::kMicrosecond,
-          [&ch, &completed, bytes = r.bytes] {
-            ch.issue(bytes, [&completed](sim::Time) { ++completed; });
+          [this, &ch, bytes = r.bytes] {
+            ch.issue(bytes, [this](sim::Time) { ++completed_; });
           });
     }
   }
+}
 
-  ex.sim().run_until(sc.cap);
-  const bool drained = ex.sim().pending() == 0;
-  chk.finish(drained);
-  if (drained && completed != expected) {
-    chk.note(OracleKind::kLiveness,
-             strf("simulation drained but only %zu/%zu transfers completed",
-                  completed, expected));
+std::uint64_t ScenarioRun::app_delivered_bytes() {
+  std::uint64_t total = 0;
+  const std::size_t n = ex_.topo().host_count();
+  for (net::HostId h = 0; h < n; ++h) {
+    ex_.host(h).for_each_receiver(
+        [&total](tcp::TcpReceiver& r) { total += r.delivered(); });
   }
+  return total;
+}
 
+std::uint64_t ScenarioRun::state_digest() {
+  sim::Digest d;
+  ex_.sim().digest_state(d);
+  const std::size_t n = ex_.topo().host_count();
+  for (net::HostId h = 0; h < n; ++h) {
+    ex_.host(h).digest_state(d);
+  }
+  chk_.digest_state(d);
+  d.mix(completed_);
+  return d.value();
+}
+
+RunOutcome ScenarioRun::outcome() {
   RunOutcome out;
-  out.drained = drained;
-  out.ok = chk.ok();
-  out.total_violations = chk.total_violations();
-  for (const Violation& v : chk.violations()) {
+  out.drained = ex_.sim().pending() == 0;
+  out.ok = chk_.ok();
+  out.total_violations = chk_.total_violations();
+  for (const Violation& v : chk_.violations()) {
     out.kind_mask |= 1u << static_cast<unsigned>(v.kind);
   }
-  if (!chk.violations().empty()) out.first_kind = chk.violations().front().kind;
-  out.report = chk.report();
-  out.frames_delivered = chk.frames_delivered();
+  if (!chk_.violations().empty()) {
+    out.first_kind = chk_.violations().front().kind;
+  }
+  out.report = chk_.report();
+  out.frames_delivered = chk_.frames_delivered();
   return out;
+}
+
+RunOutcome ScenarioRun::finish() {
+  const bool drained = ex_.sim().pending() == 0;
+  chk_.finish(drained);
+  if (drained && completed_ != expected_) {
+    chk_.note(OracleKind::kLiveness,
+              strf("simulation drained but only %zu/%zu transfers completed",
+                   completed_, expected_));
+  }
+  return outcome();
+}
+
+RunOutcome run_scenario(const Scenario& sc, CheckerOptions opt) {
+  ScenarioRun run(sc, opt);
+  run.sim().run_until(sc.cap);
+  return run.finish();
 }
 
 }  // namespace presto::check

@@ -18,6 +18,11 @@
 
 namespace presto::check {
 
+/// Stable lowercase scheme ids used by the one-line spec and the soak
+/// manifest ("presto", "ecmp", ...).
+const char* scheme_spec_name(harness::Scheme s);
+bool parse_scheme_name(const std::string& id, harness::Scheme* out);
+
 struct FlowSpec {
   net::HostId src = 0;
   net::HostId dst = 0;
@@ -48,9 +53,12 @@ struct Scenario {
   /// without leaving a permanent fault behind.
   std::vector<std::string> fault_units;
   sim::Time cap = 20 * sim::kSecond;
-  /// Test-only defect to plant, e.g. "eat:12" destroys the 12th data frame
+  /// Test-only defect to plant. "eat:12" destroys the 12th data frame
   /// serialized anywhere in the fabric without any accounting (the
-  /// conservation oracle's shrinker demo). Empty = healthy simulator.
+  /// conservation oracle's shrinker demo); "eat@100000us:12" is the same
+  /// defect armed only once the simulated clock passes 100 ms — a slow-burn
+  /// bug that stays invisible through early soak epochs (no spaces: the
+  /// value must survive the one-line spec round-trip). Empty = healthy.
   std::string bug;
 
   /// Joined fault plan as fed to ExperimentConfig::fault_plan.
@@ -79,6 +87,56 @@ struct RunOutcome {
   bool has_kind(OracleKind k) const {
     return (kind_mask & (1u << static_cast<unsigned>(k))) != 0;
   }
+};
+
+/// A fully built, armed, ready-to-run scenario: experiment + checker +
+/// planted bug + scheduled workload, with the run control left to the
+/// caller. run_scenario() drives one straight to the cap; the soak driver
+/// (src/check/soak) instead advances it epoch by epoch, auditing and
+/// digesting state at each boundary. Replaying the same Scenario through a
+/// fresh ScenarioRun reproduces the identical event sequence — determinism
+/// is the checkpoint serializer.
+class ScenarioRun {
+ public:
+  ScenarioRun(const Scenario& sc, CheckerOptions opt = {});
+  ScenarioRun(const ScenarioRun&) = delete;
+  ScenarioRun& operator=(const ScenarioRun&) = delete;
+
+  sim::Simulation& sim() { return ex_.sim(); }
+  harness::Experiment& experiment() { return ex_; }
+  Checker& checker() { return chk_; }
+  const Scenario& scenario() const { return sc_; }
+
+  /// Workload completion so far.
+  std::size_t expected() const { return expected_; }
+  std::size_t completed() const { return completed_; }
+
+  /// Sum of every receiver's in-order frontier — application bytes
+  /// delivered so far. This is the scheme-independent quantity the
+  /// differential soak compares across load balancers.
+  std::uint64_t app_delivered_bytes();
+
+  /// Digest of the full simulation state: clock/queue/watermark, every
+  /// host's datapath (TCP endpoints, GRO, LB policy, ring, uplink), and the
+  /// checker's conservation books. Two runs of the same scenario agree on
+  /// this value at equal executed-event watermarks; a mismatch at a resume
+  /// boundary means the replay diverged.
+  std::uint64_t state_digest();
+
+  /// End-of-run audit (Checker::finish + workload-completion liveness) and
+  /// outcome collection. Call once, at the scenario cap.
+  RunOutcome finish();
+
+  /// Outcome snapshot without the end-of-run audit (soak probes stop at an
+  /// epoch boundary where undrained queues are legitimate).
+  RunOutcome outcome();
+
+ private:
+  Scenario sc_;
+  harness::Experiment ex_;
+  Checker chk_;
+  std::size_t expected_ = 0;
+  std::size_t completed_ = 0;
 };
 
 /// Builds the experiment, arms a Checker, plants the bug hook, runs the

@@ -5,17 +5,37 @@
 namespace presto::check {
 namespace {
 
-/// Runs a candidate (within budget) and reports whether it still violates
-/// the target oracle. On success `*good` takes the candidate's outcome.
-bool reproduces(const Scenario& cand, OracleKind kind, std::uint32_t max_runs,
-                std::uint32_t* runs, RunOutcome* good) {
-  if (*runs >= max_runs) return false;
-  ++*runs;
-  RunOutcome o = run_scenario(cand);
-  if (o.ok || !o.has_kind(kind)) return false;
-  *good = std::move(o);
-  return true;
-}
+using Clock = std::chrono::steady_clock;
+
+/// Shared candidate-execution state: budget, deadline, and the runner.
+struct Search {
+  const ShrinkOptions& opt;
+  Clock::time_point t0 = Clock::now();
+  std::uint32_t runs = 0;
+  bool deadline_hit = false;
+
+  bool out_of_time() {
+    if (opt.deadline.count() <= 0) return false;
+    if (Clock::now() - t0 < opt.deadline) return false;
+    deadline_hit = true;
+    return true;
+  }
+
+  RunOutcome execute(const Scenario& cand) {
+    return opt.runner ? opt.runner(cand) : run_scenario(cand);
+  }
+
+  /// Runs a candidate (within budget) and reports whether it still violates
+  /// the target oracle. On success `*good` takes the candidate's outcome.
+  bool reproduces(const Scenario& cand, OracleKind kind, RunOutcome* good) {
+    if (runs >= opt.max_runs || out_of_time()) return false;
+    ++runs;
+    RunOutcome o = execute(cand);
+    if (o.ok || !o.has_kind(kind)) return false;
+    *good = std::move(o);
+    return true;
+  }
+};
 
 }  // namespace
 
@@ -23,11 +43,14 @@ ShrinkResult shrink(const Scenario& original, OracleKind kind,
                     const ShrinkOptions& opt) {
   ShrinkResult res;
   res.minimal = original;
+  Search search{opt};
 
   // Re-run the original once: the search below only trusts its own runs,
   // and a non-reproducing original means there is nothing to shrink.
-  if (!reproduces(original, kind, opt.max_runs, &res.runs, &res.outcome)) {
-    res.outcome = run_scenario(original);
+  if (!search.reproduces(original, kind, &res.outcome)) {
+    res.outcome = search.execute(original);
+    res.runs = search.runs;
+    res.deadline_hit = search.deadline_hit;
     return res;
   }
 
@@ -36,11 +59,11 @@ ShrinkResult shrink(const Scenario& original, OracleKind kind,
     cur = std::move(cand);
     res.outcome = std::move(out);
     res.shrunk = true;
-    if (opt.on_progress) opt.on_progress(cur, res.runs);
+    if (opt.on_progress) opt.on_progress(cur, search.runs);
   };
 
   bool changed = true;
-  while (changed && res.runs < opt.max_runs) {
+  while (changed && search.runs < opt.max_runs && !search.deadline_hit) {
     changed = false;
 
     // Drop whole flows, RPC batches, and fault units — the big wins first.
@@ -48,7 +71,7 @@ ShrinkResult shrink(const Scenario& original, OracleKind kind,
       Scenario cand = cur;
       cand.flows.erase(cand.flows.begin() + static_cast<std::ptrdiff_t>(i));
       RunOutcome out;
-      if (reproduces(cand, kind, opt.max_runs, &res.runs, &out)) {
+      if (search.reproduces(cand, kind, &out)) {
         accept(std::move(cand), std::move(out));
         changed = true;
       } else {
@@ -59,7 +82,7 @@ ShrinkResult shrink(const Scenario& original, OracleKind kind,
       Scenario cand = cur;
       cand.rpcs.erase(cand.rpcs.begin() + static_cast<std::ptrdiff_t>(i));
       RunOutcome out;
-      if (reproduces(cand, kind, opt.max_runs, &res.runs, &out)) {
+      if (search.reproduces(cand, kind, &out)) {
         accept(std::move(cand), std::move(out));
         changed = true;
       } else {
@@ -71,7 +94,7 @@ ShrinkResult shrink(const Scenario& original, OracleKind kind,
       cand.fault_units.erase(cand.fault_units.begin() +
                              static_cast<std::ptrdiff_t>(i));
       RunOutcome out;
-      if (reproduces(cand, kind, opt.max_runs, &res.runs, &out)) {
+      if (search.reproduces(cand, kind, &out)) {
         accept(std::move(cand), std::move(out));
         changed = true;
       } else {
@@ -89,7 +112,7 @@ ShrinkResult shrink(const Scenario& original, OracleKind kind,
       cand.flows[i].bytes =
           std::max(cand.flows[i].bytes / 2, opt.min_flow_bytes);
       RunOutcome out;
-      if (reproduces(cand, kind, opt.max_runs, &res.runs, &out)) {
+      if (search.reproduces(cand, kind, &out)) {
         accept(std::move(cand), std::move(out));
         changed = true;  // same index again: keep halving while it works
       } else {
@@ -110,7 +133,7 @@ ShrinkResult shrink(const Scenario& original, OracleKind kind,
         continue;
       }
       RunOutcome out;
-      if (reproduces(cand, kind, opt.max_runs, &res.runs, &out)) {
+      if (search.reproduces(cand, kind, &out)) {
         accept(std::move(cand), std::move(out));
         changed = true;  // same index again
       } else {
@@ -119,11 +142,12 @@ ShrinkResult shrink(const Scenario& original, OracleKind kind,
     }
 
     // Bisect the duration cap (shorter repro = faster replay).
-    while (cur.cap > sim::kSecond && res.runs < opt.max_runs) {
+    while (cur.cap > sim::kSecond && search.runs < opt.max_runs &&
+           !search.deadline_hit) {
       Scenario cand = cur;
       cand.cap /= 2;
       RunOutcome out;
-      if (reproduces(cand, kind, opt.max_runs, &res.runs, &out)) {
+      if (search.reproduces(cand, kind, &out)) {
         accept(std::move(cand), std::move(out));
         changed = true;
       } else {
@@ -133,7 +157,55 @@ ShrinkResult shrink(const Scenario& original, OracleKind kind,
   }
 
   res.minimal = cur;
+  res.runs = search.runs;
+  res.deadline_hit = search.deadline_hit;
   return res;
+}
+
+TimeWindow shrink_time(const Scenario& sc, const SoakOptions& opt,
+                       OracleKind kind, std::uint32_t detected_epoch) {
+  TimeWindow w;
+  if (detected_epoch == 0) return w;
+
+  // Probe geometry: identical epochs, but a single audit at the probe's
+  // final boundary — the probe asks "is the violation visible by epoch k?"
+  // as cheaply as possible.
+  SoakOptions probe_opt = opt;
+  probe_opt.audit_every = 0;
+  probe_opt.on_epoch = nullptr;
+
+  auto probe_bad = [&](std::uint32_t epochs) {
+    ++w.probes;
+    SoakOptions po = probe_opt;
+    po.max_epochs = epochs;
+    const SoakResult r = run_soak(sc, po);
+    return !r.outcome.ok && r.outcome.has_kind(kind);
+  };
+
+  // Confirm the detection boundary under probe geometry (a violation seen
+  // by an every-epoch audit must also be visible to a final-only audit at
+  // the same boundary; if not, the caller's epoch was wrong).
+  if (!probe_bad(detected_epoch)) return w;
+  w.valid = true;
+  w.bad_epoch = detected_epoch;
+  w.clean_epoch = 0;  // an empty run is trivially clean
+
+  std::uint32_t lo = 0, hi = detected_epoch;
+  while (hi - lo > 1) {
+    const std::uint32_t mid = lo + (hi - lo) / 2;
+    if (probe_bad(mid)) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  w.clean_epoch = lo;
+  w.bad_epoch = hi;
+  const sim::Time unit =
+      opt.epoch_length > 0 ? opt.epoch_length : sim::Time{0};
+  w.window_start = static_cast<sim::Time>(lo) * unit;
+  w.window_end = static_cast<sim::Time>(hi) * unit;
+  return w;
 }
 
 }  // namespace presto::check

@@ -7,12 +7,21 @@
 // whole pipeline is deterministic per Scenario), and accepted only if the
 // violation survives, so the result is a minimal, self-contained one-line
 // reproducer for the CLI.
+//
+// shrink_time() is the soak-tier complement: before item-wise shrinking, it
+// bisects over a soak's recorded epoch ladder to the smallest epoch window
+// that still reproduces the violation. Each probe replays the scenario to a
+// candidate boundary with the oracles armed only there (audit_every = 0),
+// so a detection run that audited every epoch is narrowed using probes that
+// each cost one audit.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <functional>
 
 #include "check/scenario.h"
+#include "check/soak.h"
 
 namespace presto::check {
 
@@ -21,6 +30,14 @@ struct ShrinkOptions {
   std::uint32_t max_runs = 200;
   /// Flow sizes are not halved below this.
   std::uint64_t min_flow_bytes = 4 * 1024;
+  /// Wall-clock budget for the whole search; zero = unlimited. Checked
+  /// before each candidate run, so one in-flight run may overshoot but no
+  /// new run starts past the deadline.
+  std::chrono::milliseconds deadline{0};
+  /// How a candidate scenario is executed. Defaults to run_scenario();
+  /// the soak driver substitutes a bounded run_soak() so soak-only oracles
+  /// (frame aging) still fire during shrinking.
+  std::function<RunOutcome(const Scenario&)> runner;
   /// Progress callback (e.g. the CLI's -v); called after every accepted
   /// shrink step with the surviving scenario.
   std::function<void(const Scenario&, std::uint32_t runs)> on_progress;
@@ -31,11 +48,37 @@ struct ShrinkResult {
   RunOutcome outcome;     ///< Outcome of `minimal`'s run.
   std::uint32_t runs = 0; ///< Re-executions spent.
   bool shrunk = false;    ///< Whether anything got smaller.
+  /// The wall-clock deadline cut the search short; `minimal` is still a
+  /// valid reproducer, just not necessarily a local minimum.
+  bool deadline_hit = false;
 };
 
 /// `kind` is the oracle the reproducer must keep violating (normally the
 /// first kind reported by the original run).
 ShrinkResult shrink(const Scenario& original, OracleKind kind,
                     const ShrinkOptions& opt = {});
+
+/// Smallest epoch window still reproducing a soak violation.
+struct TimeWindow {
+  /// Last boundary proven clean (0 = violating from the very first epoch).
+  std::uint32_t clean_epoch = 0;
+  /// First boundary proven violating — the window is
+  /// (clean_epoch, bad_epoch], i.e. the defect manifests inside it.
+  std::uint32_t bad_epoch = 0;
+  /// The same window in simulated time.
+  sim::Time window_start = 0;
+  sim::Time window_end = 0;
+  std::uint32_t probes = 0;  ///< Replays spent bisecting.
+  bool valid = false;        ///< bad_epoch confirmed violating.
+};
+
+/// Bisects [0, detected_epoch] with replay probes: each probe re-runs the
+/// scenario through `mid` epochs with a single final audit and asks whether
+/// `kind` fires. On return, probe(clean_epoch) was observed clean and
+/// probe(bad_epoch) violating, with bad_epoch - clean_epoch == 1 when the
+/// budget allowed full bisection. `opt` carries the epoch geometry of the
+/// detecting soak (audit_every is overridden to final-only for probes).
+TimeWindow shrink_time(const Scenario& sc, const SoakOptions& opt,
+                       OracleKind kind, std::uint32_t detected_epoch);
 
 }  // namespace presto::check

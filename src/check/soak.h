@@ -1,0 +1,159 @@
+// Long-horizon soak driver with replay-based checkpoints.
+//
+// A soak advances one ScenarioRun in bounded epochs — every `epoch_length`
+// of simulated time, or every `epoch_events` executed events — and at each
+// boundary records a checkpoint: the scenario spec, the executed-event
+// watermark, and a digest of the full simulation state. Because the whole
+// pipeline is deterministic per Scenario, the checkpoint needs no closure
+// serialization: *replaying the scenario to the same watermark* restores the
+// state, and the digest proves the replay did not diverge. The recorded
+// epochs double as a bisection ladder — shrink_time() in check/shrink.h
+// narrows a violation to the smallest epoch window still reproducing it.
+//
+// Epoch boundaries also arm the mid-run oracles (TCP sweep, receiver
+// frontier checks, and the in-flight frame-aging leak scan), so a slow-burn
+// bug that only fires deep into a run is caught at epoch resolution instead
+// of poisoning a multi-minute run's final balance sheet.
+//
+// run_differential_soak() runs the same scenario under several LB schemes in
+// lock-step (time-based) epochs and cross-checks application delivered bytes
+// at every boundary: divergence beyond tolerance mid-run, and exact
+// equality once every scheme quiesces.
+//
+// SoakManifest persists the epoch ladder as crash-resilient JSON (rewritten
+// atomically per epoch); resume_soak() replays a manifest's scenario,
+// validating each recorded digest on the way, then continues the run.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "check/scenario.h"
+
+namespace presto::check {
+
+/// One checkpoint: everything needed to restore (replay to `executed`) and
+/// to validate the restoration (`digest`).
+struct EpochRecord {
+  std::uint32_t epoch = 0;          ///< 1-based boundary index.
+  sim::Time sim_time = 0;           ///< Clock at the boundary.
+  std::uint64_t executed = 0;       ///< Executed-event watermark.
+  std::uint64_t digest = 0;         ///< ScenarioRun::state_digest().
+  std::uint64_t delivered_bytes = 0;  ///< App bytes past receiver frontiers.
+  std::uint64_t violations = 0;     ///< Cumulative checker count so far.
+  bool audited = false;             ///< Mid-run oracles ran at this boundary.
+};
+
+struct SoakOptions {
+  /// Simulated time per epoch. 0 switches to event-count epochs.
+  sim::Time epoch_length = 50 * sim::kMillisecond;
+  /// Executed events per epoch (used only when epoch_length == 0).
+  std::uint64_t epoch_events = 100'000;
+  /// Stop after this many epochs (0 = run to the scenario cap). Stopping
+  /// early with events still queued is not a liveness violation — it is how
+  /// bisection probes work.
+  std::uint32_t max_epochs = 0;
+  /// Arm the mid-run oracles every N epochs; 0 = only at the last boundary
+  /// (probe mode — this is what makes time bisection cheaper than the
+  /// audit-every-epoch detection run).
+  std::uint32_t audit_every = 1;
+  /// A live frame untouched for this long at an audit is a leak; 0 disables
+  /// the in-flight aging oracle entirely (no per-frame tracking cost).
+  sim::Time leak_age = 20 * sim::kMillisecond;
+  /// Oracle selection for the underlying Checker (the leak flag is derived
+  /// from leak_age).
+  CheckerOptions checker;
+  /// Fired after each recorded epoch (manifest writer hook). Returning
+  /// false aborts the soak at that boundary.
+  std::function<bool(const EpochRecord&)> on_epoch;
+};
+
+struct SoakResult {
+  RunOutcome outcome;
+  std::vector<EpochRecord> epochs;
+  /// First epoch whose boundary saw a nonzero violation count (1-based;
+  /// 0 = clean throughout).
+  std::uint32_t first_bad_epoch = 0;
+  /// The run reached the scenario cap or drained (ScenarioRun::finish ran).
+  bool completed = false;
+  /// on_epoch() returned false.
+  bool aborted = false;
+};
+
+SoakResult run_soak(const Scenario& sc, const SoakOptions& opt = {});
+
+struct DiffOptions {
+  /// Schemes run in lock-step. Empty selects the default comparison set
+  /// {presto, ecmp, flowlet} (mptcp and optimal are excluded: they model
+  /// different transport/queue semantics, not just a different spraying
+  /// policy, so byte-for-byte equality is not expected).
+  std::vector<harness::Scheme> schemes;
+  /// Mid-run delivered-bytes divergence is flagged when
+  /// max - min > max(min_gap_bytes, tolerance * max). Schemes legitimately
+  /// differ mid-run (that is the paper's point); the tolerance only catches
+  /// a scheme that silently stops delivering.
+  double tolerance = 0.6;
+  std::uint64_t min_gap_bytes = 1 << 20;
+};
+
+struct DiffResult {
+  /// Per-scheme soak results, aligned with `schemes_run`.
+  std::vector<SoakResult> per_scheme;
+  std::vector<harness::Scheme> schemes_run;
+  /// First epoch where the cross-scheme oracle fired (0 = never).
+  std::uint32_t divergence_epoch = 0;
+  bool ok = true;
+  std::string report;
+};
+
+/// Same scenario under every scheme in `dopt.schemes`, advanced in
+/// lock-step time epochs (event-count epochs are not meaningful across
+/// schemes; epoch_length == 0 falls back to the default length).
+DiffResult run_differential_soak(const Scenario& sc, const SoakOptions& opt,
+                                 const DiffOptions& dopt = {});
+
+/// Crash-resilient soak ledger: scenario spec + epoch parameters + the
+/// checkpoint ladder, serialized as JSON ("schema": "presto.soak"). save()
+/// writes atomically (tmp + rename) so a kill mid-epoch leaves the previous
+/// consistent manifest behind.
+struct SoakManifest {
+  std::string scenario;  ///< One-line Scenario spec.
+  sim::Time epoch_length = 0;
+  std::uint64_t epoch_events = 0;
+  std::uint32_t audit_every = 1;
+  sim::Time leak_age = 0;
+  /// Lock-step scheme set (empty = single-scheme soak).
+  std::vector<std::string> schemes;
+  std::vector<EpochRecord> epochs;
+  /// Final status: "running", "clean", "violation", or "aborted".
+  std::string status = "running";
+  std::uint32_t first_bad_epoch = 0;
+  std::string report;  ///< Violation report of the finished run.
+
+  bool save(const std::string& path, std::string* err = nullptr) const;
+  static bool load(const std::string& path, SoakManifest* out,
+                   std::string* err = nullptr);
+
+  /// Rebuilds the SoakOptions this manifest was recorded under (checker
+  /// defaults; on_epoch left empty).
+  SoakOptions options() const;
+};
+
+struct ResumeResult {
+  SoakResult soak;
+  /// Every epoch recorded in the manifest matched the replayed digest at
+  /// the same watermark. False means the build or scenario changed since
+  /// the manifest was written — the checkpoints are not trustworthy.
+  bool digests_match = true;
+  std::string mismatch;  ///< Human-readable first divergence.
+};
+
+/// Replays the manifest's scenario from scratch, validating each recorded
+/// epoch digest at its boundary (replay-to-watermark restore), then keeps
+/// running to the scenario cap. `on_epoch` (if set in opt) sees every
+/// epoch, replayed and new alike.
+ResumeResult resume_soak(const SoakManifest& manifest, SoakOptions opt = {});
+
+}  // namespace presto::check

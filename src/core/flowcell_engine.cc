@@ -222,4 +222,27 @@ void FlowcellEngine::on_recovery_signal(const net::FlowKey& flow) {
   }
 }
 
+void FlowcellEngine::digest_state(sim::Digest& d) const {
+  d.mix(flowcells_created_);
+  for (const auto& [flow, st] : flows_) {
+    sim::Digest sub;
+    sub.mix(flow.hash());
+    sub.mix(st.bytecount);
+    sub.mix(st.flowcell_id);
+    sub.mix(st.cursor);
+    sub.mix(st.initialized ? 1 : 0);
+    sub.mix(st.map_version);
+    sub.mix(st.last_blamed);
+    d.mix_unordered(sub.value());
+  }
+  for (const auto& [label, h] : health_) {
+    sim::Digest sub;
+    sub.mix(label);
+    sub.mix_time(h.suspect_until);
+    sub.mix(h.strikes);
+    sub.mix_time(h.last_signal);
+    d.mix_unordered(sub.value());
+  }
+}
+
 }  // namespace presto::core

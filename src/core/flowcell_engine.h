@@ -70,6 +70,10 @@ class FlowcellEngine final : public lb::SenderLb {
   /// True if `label` is currently quarantined by the suspicion tracker.
   bool label_suspect(net::MacAddr label) const;
 
+  /// Folds per-flow flowcell cursors and label-quarantine state into a
+  /// checkpoint state digest (src/check/soak).
+  void digest_state(sim::Digest& d) const override;
+
   /// Checker tap observing every end-to-end label dispatch: flow, flowcell
   /// id, the chosen label, whether that label was quarantined at dispatch
   /// time, and whether *every* label in the schedule was (the only state in

@@ -266,4 +266,31 @@ void Host::deliver_ack(const net::Packet& p) {
   }
 }
 
+void Host::digest_state(sim::Digest& d) const {
+  d.mix(id_);
+  // TCP endpoints live in unordered_maps: fold each one's digest
+  // commutatively so map traversal order cannot perturb the result.
+  for (const auto& [flow, sender] : senders_) {
+    sim::Digest sub;
+    sender->digest_state(sub);
+    d.mix_unordered(sub.value());
+  }
+  for (const auto& [flow, receiver] : receivers_) {
+    sim::Digest sub;
+    receiver->digest_state(sub);
+    d.mix_unordered(sub.value());
+  }
+  if (gro_ != nullptr) gro_->digest_state(d);
+  if (lb_ != nullptr) lb_->digest_state(d);
+  d.mix(ring_.size());
+  d.mix(ring_drops_);
+  d.mix(orphan_segments_);
+  const net::PortCounters& up = uplink_.counters();
+  d.mix(up.tx_packets);
+  d.mix(up.tx_bytes);
+  d.mix(up.enqueued_packets);
+  d.mix(up.dropped_packets);
+  d.mix(up.dropped_bytes);
+}
+
 }  // namespace presto::host

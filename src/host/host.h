@@ -155,6 +155,11 @@ class Host : public net::PacketSink {
   offload::GroEngine* gro() { return gro_.get(); }
   const HostConfig& config() const { return cfg_; }
 
+  /// Folds this host's full datapath state — TCP endpoints, GRO engine, LB
+  /// policy, receive ring, uplink counters — into a checkpoint state digest
+  /// (src/check/soak).
+  void digest_state(sim::Digest& d) const;
+
  private:
   void nic_interrupt();
   void held_flush();

@@ -11,6 +11,7 @@
 
 #include "net/flow_key.h"
 #include "net/packet.h"
+#include "sim/digest.h"
 
 namespace presto::lb {
 
@@ -40,6 +41,11 @@ class SenderLb {
   /// The previous loss signal for `flow` proved spurious (DSACK undo):
   /// path-aware policies exonerate the paths they blamed.
   virtual void on_recovery_signal(const net::FlowKey& flow) { (void)flow; }
+
+  /// Folds policy-internal state (per-flow cursors, quarantine timers) into
+  /// a checkpoint state digest (src/check/soak). Stateless policies
+  /// contribute nothing.
+  virtual void digest_state(sim::Digest& d) const { (void)d; }
 };
 
 }  // namespace presto::lb

@@ -10,6 +10,7 @@
 
 #include "net/packet.h"
 #include "offload/segment.h"
+#include "sim/digest.h"
 #include "sim/time.h"
 #include "telemetry/probes.h"
 
@@ -41,6 +42,11 @@ class GroEngine {
   /// Number of segments currently held/pending in the engine (flight
   /// recorder gauge; engines without a hold list report 0).
   virtual std::size_t held_segments() const { return 0; }
+
+  /// Folds the engine's merge state (per-flow frontiers, held segment
+  /// ranges) into a checkpoint state digest (src/check/soak). Engines with
+  /// no state contribute nothing.
+  virtual void digest_state(sim::Digest& d) const { (void)d; }
 
   /// Attaches telemetry probes (null disables). `node` labels trace events
   /// with the owning host id.

@@ -25,6 +25,17 @@ class OfficialGro : public GroEngine {
   bool has_held_segments() const override { return false; }
   std::size_t held_segments() const override { return gro_list_.size(); }
 
+  void digest_state(sim::Digest& d) const override {
+    for (const auto& [flow, s] : gro_list_) {
+      sim::Digest sub;
+      sub.mix(flow.hash());
+      sub.mix(s.start_seq);
+      sub.mix(s.end_seq);
+      sub.mix(s.flowcell);
+      d.mix_unordered(sub.value());
+    }
+  }
+
  private:
   std::uint32_t max_bytes_;
   std::unordered_map<net::FlowKey, Segment, net::FlowKeyHash> gro_list_;

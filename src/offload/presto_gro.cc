@@ -135,4 +135,30 @@ sim::Time PrestoGro::ewma_for(const net::FlowKey& flow) const {
   return static_cast<sim::Time>(it->second.ewma_ns);
 }
 
+void PrestoGro::digest_state(sim::Digest& d) const {
+  d.mix(held_count_);
+  for (const auto& [flow, f] : flows_) {
+    // Per-flow sub-digest folded commutatively: unordered_map traversal
+    // order is not deterministic across runs.
+    sim::Digest sub;
+    sub.mix(flow.hash());
+    sub.mix(f.last_flowcell);
+    sub.mix(f.exp_seq);
+    sub.mix_double(f.ewma_ns);
+    sub.mix_time(f.last_timeout_at);
+    sub.mix_time(f.last_timeout_gap_start);
+    for (const Segment& s : f.segments) {
+      // Segment order within a flow varies until flush() sorts; fold each
+      // segment commutatively too.
+      sim::Digest seg;
+      seg.mix(s.start_seq);
+      seg.mix(s.end_seq);
+      seg.mix(s.flowcell);
+      seg.mix_time(s.held_since);
+      sub.mix_unordered(seg.value());
+    }
+    d.mix_unordered(sub.value());
+  }
+}
+
 }  // namespace presto::offload

@@ -52,6 +52,7 @@ class PrestoGro : public GroEngine {
   void flush(sim::Time now) override;
   bool has_held_segments() const override { return held_count_ > 0; }
   std::size_t held_segments() const override { return held_count_; }
+  void digest_state(sim::Digest& d) const override;
 
   /// Current adaptive-timeout EWMA for a flow (testing/diagnostics);
   /// returns the initial EWMA if the flow is unknown.

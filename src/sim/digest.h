@@ -1,0 +1,81 @@
+// Deterministic state-digest accumulator for checkpoint validation.
+//
+// The soak tier (src/check/soak) records a 64-bit digest of simulator state
+// at every epoch boundary; a resumed run replays from the scenario spec and
+// must reproduce the same digest at the same boundary, or the checkpoint is
+// declared divergent (determinism is the serializer — see DESIGN.md §14).
+//
+// Two mixing modes:
+//   * mix()          — order-sensitive FNV-1a-style fold, for state whose
+//                      traversal order is itself deterministic (host ids,
+//                      ordered maps, scalar fields);
+//   * mix_unordered() — commutative fold (sum + xor of a scrambled item
+//                      hash), for unordered_map iteration, whose order is
+//                      an implementation detail we must not bake into the
+//                      digest.
+//
+// value() combines both folds. Digests are compared within one build of the
+// simulator only (a code change may legitimately move them, exactly like
+// the golden executed-event digests).
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+
+#include "sim/time.h"
+
+namespace presto::sim {
+
+class Digest {
+ public:
+  /// Order-sensitive fold of one 64-bit word.
+  void mix(std::uint64_t v) {
+    h_ ^= scramble(v);
+    h_ *= kFnvPrime;
+  }
+
+  void mix_time(Time t) { mix(static_cast<std::uint64_t>(t)); }
+
+  /// Bit-pattern fold of a double (deterministic within one build).
+  void mix_double(double v) {
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &v, sizeof(bits));
+    mix(bits);
+  }
+
+  /// Commutative fold of one item's digest: the result is independent of
+  /// the order items are offered in.
+  void mix_unordered(std::uint64_t item_digest) {
+    const std::uint64_t x = scramble(item_digest);
+    sum_ += x;
+    xor_ ^= x;
+    ++items_;
+  }
+
+  std::uint64_t value() const {
+    std::uint64_t v = h_;
+    v ^= scramble(sum_);
+    v *= kFnvPrime;
+    v ^= scramble(xor_ + items_);
+    v *= kFnvPrime;
+    return scramble(v);
+  }
+
+ private:
+  /// splitmix64 finalizer: spreads low-entropy inputs (small counters,
+  /// times) over all 64 bits before folding.
+  static std::uint64_t scramble(std::uint64_t x) {
+    x += 0x9E3779B97F4A7C15ULL;
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+    return x ^ (x >> 31);
+  }
+
+  static constexpr std::uint64_t kFnvPrime = 0x100000001B3ULL;
+  std::uint64_t h_ = 0xCBF29CE484222325ULL;  // FNV offset basis
+  std::uint64_t sum_ = 0;
+  std::uint64_t xor_ = 0;
+  std::uint64_t items_ = 0;
+};
+
+}  // namespace presto::sim

@@ -13,6 +13,7 @@
 
 #include <cstdint>
 
+#include "sim/digest.h"
 #include "sim/event_fn.h"
 #include "sim/event_queue.h"
 #include "sim/time.h"
@@ -48,8 +49,10 @@ class Simulation {
   void run() { run_until(kTimeNever); }
 
   /// Runs events with timestamp <= `deadline`; afterwards now() == deadline
-  /// (unless the queue drained earlier or stop() was called, in which case
-  /// now() is the time of the last executed event).
+  /// — including when the queue drained before reaching it — so back-to-back
+  /// run_until calls advance the clock in lock step with their deadlines
+  /// (the soak tier's epoch boundaries depend on this). Only stop() leaves
+  /// the clock at the last executed event's time.
   void run_until(Time deadline) {
     stopped_ = false;
     while (!stopped_ && !queue_.empty()) {
@@ -67,6 +70,25 @@ class Simulation {
     }
   }
 
+  /// Executed-watermark run control (checkpoint replay): runs events in
+  /// timestamp order until executed() reaches `target`, the queue drains,
+  /// stop() is called, or the next event lies past `deadline`. Unlike
+  /// run_until, the clock is left at the last executed event — the caller
+  /// is mid-stream at an exact event-count watermark, not at a time
+  /// boundary. Replaying a deterministic run to the same watermark
+  /// reproduces the same state bit for bit.
+  void run_until_executed(std::uint64_t target, Time deadline = kTimeNever) {
+    stopped_ = false;
+    while (!stopped_ && executed_ < target && !queue_.empty()) {
+      Time when;
+      EventFn fn;
+      if (!queue_.pop_due(deadline, &when, &fn)) break;
+      now_ = when;
+      ++executed_;
+      fn();
+    }
+  }
+
   /// Stops run()/run_until() after the current event returns.
   void stop() { stopped_ = true; }
 
@@ -75,6 +97,16 @@ class Simulation {
 
   /// Total number of events executed so far.
   std::uint64_t executed() const { return executed_; }
+
+  /// Scheduler contribution to a checkpoint state digest: clock, executed
+  /// watermark, and pending-event count. Queue *contents* are not hashed —
+  /// closures are opaque — but any divergence in what was scheduled shows
+  /// up in these three within one event of happening.
+  void digest_state(Digest& d) const {
+    d.mix_time(now_);
+    d.mix(executed_);
+    d.mix(queue_.size());
+  }
 
  private:
   EventQueue queue_;

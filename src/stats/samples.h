@@ -24,6 +24,7 @@ class Samples {
     if (values_.size() >= budget_) {
       if (dropped_ == 0) warn_budget();
       ++dropped_;
+      ++total_dropped_;
       return;
     }
     values_.push_back(v);
@@ -42,6 +43,13 @@ class Samples {
   std::size_t budget() const { return budget_; }
   /// Values rejected after the budget was exhausted.
   std::uint64_t dropped() const { return dropped_; }
+
+  /// Values rejected by *any* collector in this process — lets reporters
+  /// (bench JSON "warnings") flag truncated statistics without having a
+  /// handle on every Samples instance. merge() does not re-count: only the
+  /// original rejection increments the total.
+  static std::uint64_t total_dropped() { return total_dropped_; }
+  static void reset_total_dropped() { total_dropped_ = 0; }
 
   static std::size_t default_budget();
 
@@ -107,6 +115,8 @@ class Samples {
   mutable bool sorted_ = false;
   std::size_t budget_ = default_budget();
   std::uint64_t dropped_ = 0;
+
+  static inline std::uint64_t total_dropped_ = 0;
 };
 
 /// Jain's fairness index over per-flow throughputs (§4): (sum x)^2 / (n * sum x^2).

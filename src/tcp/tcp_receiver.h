@@ -47,6 +47,19 @@ class TcpReceiver {
 
   std::uint64_t delivered() const { return rcv_nxt_; }
   const TcpReceiverStats& stats() const { return stats_; }
+
+  /// Folds the in-order frontier and out-of-order store into a checkpoint
+  /// state digest (src/check/soak).
+  void digest_state(sim::Digest& d) const {
+    d.mix(data_flow_.hash());
+    d.mix(rcv_nxt_);
+    for (const auto& [start, end] : ooo_.snapshot()) {
+      d.mix(start);
+      d.mix(end);
+    }
+    d.mix(stats_.segments_in);
+    d.mix(stats_.acks_sent);
+  }
   /// Out-of-order store (checker access: every range must sit strictly
   /// above the in-order frontier).
   const RangeSet& out_of_order() const { return ooo_; }

@@ -306,4 +306,28 @@ void TcpSender::on_rto(std::uint64_t generation) {
   try_send();
 }
 
+void TcpSender::digest_state(sim::Digest& d) const {
+  d.mix(flow_.hash());
+  d.mix(snd_una_);
+  d.mix(snd_nxt_);
+  d.mix(snd_high_);
+  d.mix(stream_end_);
+  d.mix(fack_);
+  d.mix(retx_pending_);
+  d.mix(in_recovery_ ? recover_ : ~0ULL);
+  d.mix(dupacks_);
+  for (const auto& [start, end] : sacked_.snapshot()) {
+    d.mix(start);
+    d.mix(end);
+  }
+  d.mix_time(srtt_);
+  d.mix_time(rttvar_);
+  d.mix_time(rto_);
+  d.mix_double(cc_->cwnd_bytes());
+  d.mix(stats_.fast_retransmits);
+  d.mix(stats_.timeouts);
+  d.mix(stats_.retransmitted_bytes);
+  d.mix(stats_.emitted_segments);
+}
+
 }  // namespace presto::tcp

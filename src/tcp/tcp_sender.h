@@ -98,6 +98,10 @@ class TcpSender {
   /// invariant to `*why` (when non-null). Used by the check subsystem.
   bool check_invariants(std::string* why) const;
 
+  /// Folds this sender's sequence frontiers, SACK scoreboard, RTT state,
+  /// and loss counters into a checkpoint state digest (src/check/soak).
+  void digest_state(sim::Digest& d) const;
+
  private:
   void try_send();
   void send_range(std::uint64_t start, std::uint64_t end, bool retx);

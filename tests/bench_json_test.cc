@@ -14,6 +14,8 @@
 
 #include <gtest/gtest.h>
 
+#include "bench_json.h"
+#include "stats/samples.h"
 #include "telemetry/json_parse.h"
 
 namespace presto::bench {
@@ -81,6 +83,49 @@ TEST(MicroJsonDoc, WriteProducesParsableFileInRequestedDir) {
   EXPECT_EQ(root.get("benchmarks").as_array().size(), 2u);
 
   std::filesystem::remove_all(dir);
+}
+
+TEST(BenchJsonDoc, WarningsBlockSurfacesTruncatedStatistics) {
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() / "presto_bench_warn_test";
+  std::filesystem::remove_all(dir);
+  setenv("PRESTO_BENCH_JSON", dir.string().c_str(), 1);
+
+  stats::Samples::reset_total_dropped();
+  {
+    stats::Samples s;
+    s.set_budget(2);
+    s.add(1);
+    s.add(2);
+    s.add(3);  // rejected: lands in the process-wide total
+
+    JsonReporter rep("warn_bench");
+    ASSERT_TRUE(rep.enabled());
+    harness::ExperimentConfig cfg;
+    harness::SweepResult agg;
+    agg.rtt_ms.add(1.0);
+    rep.record(cfg, agg);
+  }  // destructor writes the document
+  unsetenv("PRESTO_BENCH_JSON");
+  stats::Samples::reset_total_dropped();
+
+  std::ifstream in(dir / "warn_bench.json");
+  ASSERT_TRUE(in.good());
+  std::stringstream buf;
+  buf << in.rdbuf();
+  std::filesystem::remove_all(dir);
+
+  telemetry::JsonValue root;
+  std::string error;
+  ASSERT_TRUE(telemetry::parse_json(buf.str(), root, error)) << error;
+
+  const telemetry::JsonValue& warn = root.get("warnings");
+  EXPECT_EQ(warn.num_or("samples_dropped", -1), 1);
+  EXPECT_EQ(warn.num_or("sketch_collapsed", -1), 0);
+
+  // Per-sketch collapse counts ride along in each point's sample blocks.
+  const telemetry::JsonValue& point = root.get("points").as_array()[0];
+  EXPECT_EQ(point.get("metrics").get("rtt_ms").num_or("collapsed", -1), 0);
 }
 
 TEST(MicroJsonConfig, FlagAndEnvGatingMatchesBenchJsonConventions) {

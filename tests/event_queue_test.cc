@@ -234,6 +234,29 @@ TEST(EventQueueTest, HeapFallbackForLargeCaptures) {
 // Simulation-level semantics (clamping, run_until, stop)
 // ---------------------------------------------------------------------------
 
+TEST(EventQueueTest, PopDueDeadlineIsInclusiveAndNonConsumingPastIt) {
+  EventQueue q;
+  q.push(100, [] {});
+  q.push(200, [] {});
+
+  Time when = -1;
+  EventFn fn;
+  // An event strictly past the deadline is not popped and not consumed.
+  EXPECT_FALSE(q.pop_due(99, &when, &fn));
+  EXPECT_EQ(q.size(), 2u);
+
+  // An event exactly at the deadline is due.
+  EXPECT_TRUE(q.pop_due(100, &when, &fn));
+  EXPECT_EQ(when, 100);
+  EXPECT_EQ(q.size(), 1u);
+
+  // The refusal left the later event intact and still ordered.
+  EXPECT_FALSE(q.pop_due(199, &when, &fn));
+  EXPECT_TRUE(q.pop_due(200, &when, &fn));
+  EXPECT_EQ(when, 200);
+  EXPECT_EQ(q.size(), 0u);
+}
+
 TEST(SimulationQueueTest, PastDeadlinesClampToNow) {
   Simulation sim;
   std::vector<int> order;

@@ -89,6 +89,73 @@ TEST(Simulation, ScheduleAtPastTimeClamps) {
   EXPECT_EQ(ran_at, 100);
 }
 
+// Boundary semantics the soak tier's epoch driver depends on: deadlines
+// are inclusive, a drained run still advances the clock to its deadline,
+// and stop() is the only path that leaves the clock mid-stream.
+
+TEST(Simulation, EventExactlyAtDeadlineExecutes) {
+  Simulation sim;
+  int fired = 0;
+  sim.schedule(100, [&] { ++fired; });
+  sim.schedule(101, [&] { ++fired; });
+  sim.run_until(100);  // deadline is inclusive
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now(), 100);
+  EXPECT_EQ(sim.pending(), 1u);
+}
+
+TEST(Simulation, StopInsideLastDueEventLeavesClockAtEvent) {
+  Simulation sim;
+  sim.schedule(50, [&] { sim.stop(); });
+  sim.schedule(80, [] {});
+  sim.run_until(200);
+  // stop() suppresses the advance-to-deadline step: the caller is
+  // mid-stream at the stopping event, not at an epoch boundary.
+  EXPECT_EQ(sim.now(), 50);
+  EXPECT_EQ(sim.pending(), 1u);
+  sim.run_until(200);  // a fresh run_until resumes and re-arms the advance
+  EXPECT_EQ(sim.now(), 200);
+  EXPECT_EQ(sim.pending(), 0u);
+}
+
+TEST(Simulation, ClockAdvancesToDeadlineOnEarlyDrain) {
+  Simulation sim;
+  sim.schedule(10, [] {});
+  sim.run_until(500);  // queue drains at t=10
+  EXPECT_EQ(sim.now(), 500);
+  sim.run_until(900);  // even a run with nothing to do advances the clock
+  EXPECT_EQ(sim.now(), 900);
+}
+
+TEST(Simulation, RunUntilExecutedStopsAtWatermarkMidStream) {
+  Simulation sim;
+  std::vector<Time> at;
+  for (Time t = 10; t <= 50; t += 10) {
+    sim.schedule(t, [&] { at.push_back(sim.now()); });
+  }
+  sim.run_until_executed(3);
+  EXPECT_EQ(sim.executed(), 3u);
+  EXPECT_EQ(at, (std::vector<Time>{10, 20, 30}));
+  // Unlike run_until, the clock stays at the last executed event.
+  EXPECT_EQ(sim.now(), 30);
+  EXPECT_EQ(sim.pending(), 2u);
+  sim.run_until_executed(5);
+  EXPECT_EQ(sim.executed(), 5u);
+  EXPECT_EQ(sim.now(), 50);
+}
+
+TEST(Simulation, RunUntilExecutedHonorsDeadline) {
+  Simulation sim;
+  sim.schedule(10, [] {});
+  sim.schedule(20, [] {});
+  sim.schedule(300, [] {});
+  sim.run_until_executed(10, /*deadline=*/100);
+  // The watermark was not reached: the next event lies past the deadline.
+  EXPECT_EQ(sim.executed(), 2u);
+  EXPECT_EQ(sim.now(), 20);
+  EXPECT_EQ(sim.pending(), 1u);
+}
+
 TEST(Rng, DeterministicForSeed) {
   Rng a(42), b(42), c(43);
   bool diverged = false;

@@ -81,6 +81,25 @@ TEST(Samples, BudgetCapsRetainedValuesAndCountsDrops) {
   EXPECT_EQ(s.max(), 10);
 }
 
+TEST(Samples, TotalDroppedAggregatesAcrossCollectorsWithoutMergeDoubleCount) {
+  Samples::reset_total_dropped();
+  Samples a, b;
+  a.set_budget(1);
+  b.set_budget(1);
+  a.add(1);
+  a.add(2);  // dropped by a
+  b.add(3);
+  b.add(4);  // dropped by b
+  EXPECT_EQ(Samples::total_dropped(), 2u);
+  // A lossless merge folds b's per-collector count into a's without adding
+  // new rejections to the process-wide total.
+  a.set_budget(10);
+  a.merge(b);
+  EXPECT_EQ(a.dropped(), 2u);
+  EXPECT_EQ(Samples::total_dropped(), 2u);
+  Samples::reset_total_dropped();
+}
+
 TEST(Samples, BudgetZeroKeepsCurrentBudget) {
   Samples s;
   s.set_budget(5);
