@@ -98,6 +98,7 @@ class JsonReporter {
     p.rtt_ms = agg.rtt_ms;
     p.fct_ms = agg.fct_ms;
     p.telemetry = agg.telemetry;
+    p.fabric_health = agg.fabric_health_json;
     points_.push_back(std::move(p));
   }
 
@@ -114,6 +115,7 @@ class JsonReporter {
     stats::DDSketch rtt_ms;
     stats::DDSketch fct_ms;
     telemetry::Snapshot telemetry;
+    std::string fabric_health;  ///< prerendered fabric_health document
   };
 
   static std::uint64_t counter_or(const telemetry::Snapshot& snap,
@@ -233,6 +235,10 @@ class JsonReporter {
       w.end_object();
       w.key("telemetry");
       telemetry::write_snapshot(w, p.telemetry);
+      if (!p.fabric_health.empty()) {
+        w.key("fabric_health");
+        w.raw(p.fabric_health);
+      }
       w.end_object();
     }
     w.end_array();

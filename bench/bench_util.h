@@ -168,6 +168,12 @@ MultiRun run_seeds(harness::ExperimentConfig cfg, PairsFn pairs_of,
   JsonReporter* json = JsonReporter::active();
   if (json != nullptr) {
     cfg.telemetry.metrics = true;
+    // Every JSON-producing run also carries the in-fabric telemetry plane,
+    // so the emitted points include a fabric_health section.
+    cfg.telemetry.fabric.monitors = true;
+    if (cfg.telemetry.fabric.flush_period == 0) {
+      cfg.telemetry.fabric.flush_period = scaled(5 * sim::kMillisecond);
+    }
     json->note_run_config(seed_count(), time_scale());
   }
   const std::string& tbase = trace_out();

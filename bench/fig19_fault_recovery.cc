@@ -31,6 +31,12 @@ FaultRun run_flap(bool suspicion, std::uint64_t seed, bool telemetry,
   cfg.seed = seed;
   cfg.edge_suspicion = suspicion;
   cfg.telemetry.metrics = telemetry;
+  if (telemetry) {
+    // JSON runs carry the in-fabric telemetry plane: the flapping link's
+    // tree shows up in the fabric_health label/loss anomaly sections.
+    cfg.telemetry.fabric.monitors = true;
+    cfg.telemetry.fabric.flush_period = scaled(5 * sim::kMillisecond);
+  }
   // Goodput windows come from the flight recorder's app.delivered_bytes
   // series (one continuous run) instead of ad-hoc run_until probing.
   cfg.telemetry.timeseries = true;
@@ -103,6 +109,7 @@ FaultRun run_flap(bool suspicion, std::uint64_t seed, bool telemetry,
   out.recovery_ms = sim::to_millis(t - flap_end);
   if (rr != nullptr) {
     rr->telemetry = ex.telemetry_snapshot();
+    rr->fabric_health_json = ex.fabric_health_json();
     if (ex.flight_recorder_enabled() && !trace_out().empty()) {
       rr->trace_json = ex.export_trace_json();
       rr->timeseries_csv = ex.export_timeseries_csv();
@@ -140,6 +147,9 @@ int main(int argc, char** argv) {
       avg.recovery_ms += r.per_flow_gbps[2] / seed_count();
       recovered += r.per_flow_gbps[3] / seed_count();
       agg.telemetry.merge(r.telemetry);
+      if (agg.fabric_health_json.empty() && !r.fabric_health_json.empty()) {
+        agg.fabric_health_json = r.fabric_health_json;
+      }
     }
     const char* name = suspicion ? "edge-suspicion" : "controller-only";
     if (!trace_out().empty()) {

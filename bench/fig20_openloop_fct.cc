@@ -40,6 +40,10 @@ harness::OpenLoopResult run_point(harness::Scheme scheme,
   cfg.scheme = scheme;
   cfg.seed = seed;
   cfg.telemetry.metrics = telemetry;
+  if (telemetry) {
+    cfg.telemetry.fabric.monitors = true;
+    cfg.telemetry.fabric.flush_period = scaled(5 * sim::kMillisecond);
+  }
   const std::uint32_t hosts = cfg.leaves * cfg.hosts_per_leaf;
 
   // Tenant 0: load-driven arrivals over the empirical size mix.
@@ -152,6 +156,10 @@ int main(int argc, char** argv) {
           agg.timeouts += r.timeouts;
           agg.measured_load += r.measured_load;
           agg.telemetry.merge(r.telemetry);
+          if (agg.fabric_health_json.empty() &&
+              !r.fabric_health_json.empty()) {
+            agg.fabric_health_json = r.fabric_health_json;
+          }
           digest.fold(r.executed_events);
         }
         agg.measured_load /= n;
@@ -173,6 +181,7 @@ int main(int argc, char** argv) {
           sweep.rtt_ms = agg.mice_fct_ms;  // mice slice in the second slot
           sweep.mice_timeouts = agg.timeouts;
           sweep.telemetry = agg.telemetry;
+          sweep.fabric_health_json = agg.fabric_health_json;
           harness::ExperimentConfig cfg;
           cfg.scheme = scheme;
           json.set_point(

@@ -90,6 +90,12 @@ harness::ExperimentConfig experiment_config(const Scenario& sc) {
   cfg.seed = sc.seed;
   cfg.fault_plan = sc.fault_plan();
   cfg.fault_seed = sc.seed | 1;  // pinned: shrinking must not reshuffle loss
+  // Fabric monitors run passively (flush_period 0 = no scheduled flushes, so
+  // drain detection is untouched) purely to widen the soak digest: any
+  // divergence in switch-side queue/drop accounting between two runs of the
+  // same scenario now trips the checkpoint comparison.
+  cfg.telemetry.fabric.monitors = true;
+  cfg.telemetry.fabric.flush_period = 0;
   return cfg;
 }
 
@@ -455,6 +461,7 @@ std::uint64_t ScenarioRun::state_digest() {
     ex_.host(h).digest_state(d);
   }
   chk_.digest_state(d);
+  if (ex_.fabric_plane() != nullptr) ex_.fabric_plane()->digest_state(d);
   d.mix(completed_);
   return d.value();
 }

@@ -92,9 +92,14 @@ class Controller {
   /// Control-plane fault model: every future weighted-schedule push is
   /// delayed by `extra_push_delay` and independently dropped with
   /// `push_drop_probability` (stale schedules persist at the vSwitches).
+  /// Telemetry-report frames riding the control plane (FabricPlane) see the
+  /// same delay/drop and are additionally duplicated with
+  /// `push_duplicate_probability` (schedule pushes are idempotent, so
+  /// duplication is only observable for reports).
   struct ControlFault {
     sim::Time extra_push_delay = 0;
     double push_drop_probability = 0;
+    double push_duplicate_probability = 0;
     std::uint64_t seed = 1;  ///< dedicated RNG stream for drop rolls
   };
   void set_control_fault(const ControlFault& fault) {
@@ -102,6 +107,11 @@ class Controller {
     ctl_fault_rng_ = sim::Rng(fault.seed);
   }
   void clear_control_fault() { ctl_fault_.reset(); }
+  /// The active control-plane fault, or null. Consulted by the telemetry
+  /// plane so report frames share the control plane's failure model.
+  const ControlFault* control_fault() const {
+    return ctl_fault_ ? &*ctl_fault_ : nullptr;
+  }
 
   /// Number of currently failed fabric links (diagnostics).
   std::size_t failed_link_count() const { return failed_.size(); }

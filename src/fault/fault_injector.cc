@@ -73,6 +73,7 @@ void FaultInjector::arm_event(const FaultEvent& ev) {
         controller::Controller::ControlFault fault;
         fault.extra_push_delay = ev.ctl_delay;
         fault.push_drop_probability = ev.ctl_drop;
+        fault.push_duplicate_probability = ev.ctl_dup;
         fault.seed = net::mix64(seed_ ^ 0xC71F'0001ULL);
         ctl_.set_control_fault(fault);
       });

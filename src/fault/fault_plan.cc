@@ -147,6 +147,8 @@ FaultEvent parse_stmt(const std::string& stmt) {
       ev.ctl_delay = parse_time(stmt, val);
     } else if (key == "drop") {
       ev.ctl_drop = parse_prob(stmt, val);
+    } else if (key == "dup") {
+      ev.ctl_dup = parse_prob(stmt, val);
     } else {
       fail(stmt, "unknown key '" + key + "'");
     }

@@ -18,7 +18,7 @@
 //   heal@T    leaf= spine= group=          remove the loss model
 //   switch_down@T switch=                  fail-stop: every port down
 //   switch_up@T   switch=                  restore the switch
-//   ctl_fault@T [delay=] [drop=]           delay / drop schedule pushes
+//   ctl_fault@T [delay=] [drop=] [dup=]    delay / drop / duplicate pushes
 //   ctl_clear@T                            control plane back to healthy
 //
 // Example:
@@ -75,6 +75,7 @@ struct FaultEvent {
   // kCtlFault.
   sim::Time ctl_delay = 0;
   double ctl_drop = 0;
+  double ctl_dup = 0;  ///< duplicate probability (telemetry reports only)
 };
 
 struct FaultPlan {

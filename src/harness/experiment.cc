@@ -65,6 +65,15 @@ Experiment::Experiment(ExperimentConfig cfg)
     ctl_->attach_telemetry(telem_->controller_probes());
   }
   ctl_->install();
+  if (cfg_.telemetry.fabric.monitors) {
+    fabric_plane_ = std::make_unique<telemetry::fabric::FabricPlane>(
+        sim_, cfg_.telemetry.fabric, cfg_.seed);
+    for (net::SwitchId s = 0; s < topo_->switch_count(); ++s) {
+      fabric_plane_->attach_switch(topo_->get_switch(s));
+    }
+    fabric_plane_->set_controller(ctl_.get());
+    fabric_plane_->start();
+  }
   if (!cfg_.fault_plan.empty() && cfg_.scheme != Scheme::kOptimal) {
     // Armed before the workload runs: every fault lands on the sim clock at
     // construction time, off a dedicated RNG stream.
@@ -105,6 +114,23 @@ void Experiment::start_flight_recorder() {
                        [&flight, t] {
                          return static_cast<double>(flight.bytes[t]);
                        });
+  }
+  // In-fabric telemetry plane: live spray-imbalance index plus per-label
+  // transmitted bytes straight from the switch monitors (independent of the
+  // collection protocol, so these are exact even under control-plane
+  // faults). Exported as Perfetto counter tracks like every other series.
+  if (fabric_plane_ != nullptr) {
+    telemetry::fabric::FabricPlane* plane = fabric_plane_.get();
+    sampler.add_series("fabric.imbalance_index", [plane] {
+      return plane->live_imbalance_index();
+    });
+    for (std::uint32_t t = 0; t < trees; ++t) {
+      sampler.add_series("fabric.label.t" + std::to_string(t) + ".tx_bytes",
+                         [plane, t] {
+                           return static_cast<double>(
+                               plane->live_label_tx_bytes(t));
+                         });
+    }
   }
   // GRO segments pending across all hosts (reorder-buffer pressure).
   sampler.add_series("host.gro.held_segments", [this] {

@@ -16,6 +16,7 @@
 #include "net/topology.h"
 #include "sim/rng.h"
 #include "sim/simulation.h"
+#include "telemetry/fabric/plane.h"
 #include "telemetry/probes.h"
 #include "workload/apps.h"
 #include "workload/channel.h"
@@ -175,6 +176,17 @@ class Experiment {
   /// Safe to call repeatedly; derived metrics are published once.
   telemetry::Snapshot telemetry_snapshot();
 
+  /// Null unless cfg.telemetry.fabric.monitors.
+  telemetry::fabric::FabricPlane* fabric_plane() {
+    return fabric_plane_.get();
+  }
+  /// Renders the fabric_health document for the current state (empty when
+  /// the telemetry plane is off).
+  std::string fabric_health_json() {
+    return fabric_plane_ != nullptr ? fabric_plane_->health_json()
+                                    : std::string{};
+  }
+
  private:
   void build_hosts();
   std::unique_ptr<lb::SenderLb> make_lb(net::HostId h);
@@ -190,6 +202,7 @@ class Experiment {
   bool telemetry_published_ = false;
   std::unique_ptr<net::Topology> topo_;
   std::unique_ptr<controller::Controller> ctl_;
+  std::unique_ptr<telemetry::fabric::FabricPlane> fabric_plane_;
   std::unique_ptr<fault::FaultInjector> fault_;
   std::vector<std::unique_ptr<host::Host>> hosts_;
   std::vector<net::HostId> servers_;

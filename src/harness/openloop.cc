@@ -91,6 +91,7 @@ OpenLoopResult run_openloop(const ExperimentConfig& cfg,
                         : 0;
   r.executed_events = ex.sim().executed();
   r.telemetry = ex.telemetry_snapshot();
+  r.fabric_health_json = ex.fabric_health_json();
   return r;
 }
 

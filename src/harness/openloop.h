@@ -63,6 +63,8 @@ struct OpenLoopResult {
   /// Scheduler-identity digest (any event reordering shows up here).
   std::uint64_t executed_events = 0;
   telemetry::Snapshot telemetry;
+  /// fabric_health document (empty unless cfg.telemetry.fabric.monitors).
+  std::string fabric_health_json;
 
   /// Exact FCT samples (ms); populated only with keep_exact.
   stats::Samples exact_fct_ms;

@@ -103,6 +103,7 @@ RunResult run_pairs(const ExperimentConfig& cfg,
   probes.collect(r);
   r.executed_events = ex.sim().executed();
   r.telemetry = ex.telemetry_snapshot();
+  r.fabric_health_json = ex.fabric_health_json();
   if (ex.flight_recorder_enabled()) {
     r.trace_json = ex.export_trace_json();
     r.timeseries_csv = ex.export_timeseries_csv();
@@ -186,6 +187,7 @@ RunResult run_shuffle(const ExperimentConfig& cfg,
   probes.collect(r);
   r.executed_events = ex.sim().executed();
   r.telemetry = ex.telemetry_snapshot();
+  r.fabric_health_json = ex.fabric_health_json();
   if (ex.flight_recorder_enabled()) {
     r.trace_json = ex.export_trace_json();
     r.timeseries_csv = ex.export_timeseries_csv();

@@ -47,6 +47,8 @@ struct RunResult {
   /// per-seed files without touching the (destroyed) Experiment.
   std::string trace_json;
   std::string timeseries_csv;
+  /// fabric_health document (empty unless cfg.telemetry.fabric.monitors).
+  std::string fabric_health_json;
 };
 
 /// Runs fixed sender->receiver pairs (stride / random / bijection / custom).

@@ -71,6 +71,9 @@ SweepResult run_sweep(const ExperimentConfig& base, const SweepRunFn& run,
     agg.fct_ms.merge(r.fct_ms);
     agg.mice_timeouts += r.mice_timeouts;
     agg.telemetry.merge(r.telemetry);
+    if (agg.fabric_health_json.empty() && !r.fabric_health_json.empty()) {
+      agg.fabric_health_json = r.fabric_health_json;
+    }
   }
   agg.runs = std::move(runs);
   return agg;

@@ -36,6 +36,9 @@ struct SweepResult {
   stats::DDSketch fct_ms;           ///< Merge of all seeds' sketches.
   std::uint64_t mice_timeouts = 0;  ///< Sum over seeds.
   telemetry::Snapshot telemetry;    ///< Merged (counters sum, gauges max).
+  /// fabric_health document of the first seed that produced one (the
+  /// per-seed documents stay available via `runs`).
+  std::string fabric_health_json;
   std::vector<RunResult> runs;      ///< One entry per seed.
 };
 

@@ -63,11 +63,14 @@ tcp::TcpSender& Host::create_sender(const net::FlowKey& flow,
     const std::string base = "host" + std::to_string(id_) + ".flow" +
                              std::to_string(flow.src_port) + "-" +
                              std::to_string(flow.dst_port);
-    const bool fresh = cfg_.sampler->add_series(base + ".cwnd_bytes", [this, flow] {
-      tcp::TcpSender* s = find_sender(flow);
-      return s != nullptr ? s->cwnd_bytes() : 0.0;
-    });
-    cfg_.sampler->add_series(base + ".srtt_us", [this, flow] {
+    // if_absent: a reconnect of the same flow key is the same logical
+    // gauge (it samples through find_sender), not a new track.
+    const bool fresh =
+        cfg_.sampler->add_series_if_absent(base + ".cwnd_bytes", [this, flow] {
+          tcp::TcpSender* s = find_sender(flow);
+          return s != nullptr ? s->cwnd_bytes() : 0.0;
+        });
+    cfg_.sampler->add_series_if_absent(base + ".srtt_us", [this, flow] {
       tcp::TcpSender* s = find_sender(flow);
       return s != nullptr ? static_cast<double>(s->srtt()) / 1e3 : 0.0;
     });

@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "telemetry/fabric/monitor.h"
+
 namespace presto::net {
 
 void TxPort::enqueue(Packet p) {
@@ -9,6 +11,13 @@ void TxPort::enqueue(Packet p) {
       queued_bytes_ + p.buffer_bytes() > cfg_.queue_bytes) {
     ++counters_.dropped_packets;
     counters_.dropped_bytes += p.buffer_bytes();
+    if (fabric_ != nullptr) {
+      fabric_->on_drop(p.buffer_bytes(),
+                       telemetry::fabric::label_bucket(p.dst_mac),
+                       down_ || peer_ == nullptr
+                           ? telemetry::DropCause::kLinkDown
+                           : telemetry::DropCause::kQueueFull);
+    }
     if (tap_ != nullptr) {
       tap_->on_drop(telem_node_, telem_port_, p,
                     down_ || peer_ == nullptr ? TapDropCause::kLinkDown
@@ -35,6 +44,11 @@ void TxPort::enqueue(Packet p) {
   }
   ++counters_.enqueued_packets;
   queued_bytes_ += p.buffer_bytes();
+  if (fabric_ != nullptr) {
+    fabric_->on_enqueue(p.buffer_bytes(), queued_bytes_,
+                        telemetry::fabric::label_bucket(p.dst_mac),
+                        sim_.now());
+  }
   if (tap_ != nullptr) tap_->on_port_enqueue(telem_node_, telem_port_, p);
   if (telem_ != nullptr) {
     telem_->enqueued->inc();
@@ -72,6 +86,10 @@ void TxPort::finish_transmission() {
   queued_bytes_ -= p->buffer_bytes();
   ++counters_.tx_packets;
   counters_.tx_bytes += p->buffer_bytes();
+  if (fabric_ != nullptr) {
+    fabric_->on_tx(p->buffer_bytes(), queued_bytes_,
+                   telemetry::fabric::label_bucket(p->dst_mac), sim_.now());
+  }
   if (telem_ != nullptr) {
     if (telem_->label_flight != nullptr) {
       telem_->label_flight->add(p->dst_mac,
@@ -93,6 +111,11 @@ void TxPort::finish_transmission() {
     // conservation oracle flags that as unattributed loss.)
     ++counters_.dropped_packets;
     counters_.dropped_bytes += p->buffer_bytes();
+    if (fabric_ != nullptr) {
+      fabric_->on_drop(p->buffer_bytes(),
+                       telemetry::fabric::label_bucket(p->dst_mac),
+                       telemetry::DropCause::kLinkDown);
+    }
     if (tap_ != nullptr) {
       tap_->on_drop(telem_node_, telem_port_, *p, TapDropCause::kLinkDownTx);
     }
@@ -145,6 +168,12 @@ bool TxPort::loss_model_eats(const Packet& p) {
     ++counters_.loss_model_drops;
   } else {
     ++counters_.corrupt_drops;
+  }
+  if (fabric_ != nullptr) {
+    fabric_->on_drop(p.buffer_bytes(),
+                     telemetry::fabric::label_bucket(p.dst_mac),
+                     lost ? telemetry::DropCause::kLossModel
+                          : telemetry::DropCause::kCorrupt);
   }
   if (tap_ != nullptr) {
     tap_->on_drop(telem_node_, telem_port_, p,

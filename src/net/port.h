@@ -19,6 +19,10 @@
 #include "sim/simulation.h"
 #include "telemetry/probes.h"
 
+namespace presto::telemetry::fabric {
+class PortMonitor;
+}
+
 namespace presto::net {
 
 /// Static configuration of a unidirectional link attached to a port.
@@ -107,6 +111,13 @@ class TxPort {
     telem_port_ = port;
   }
 
+  /// Attaches an in-fabric telemetry monitor (null disables). The monitor
+  /// sees every enqueue/dequeue/drop behind one null check; see
+  /// telemetry/fabric/monitor.h for what it records.
+  void set_fabric_monitor(telemetry::fabric::PortMonitor* mon) {
+    fabric_ = mon;
+  }
+
   /// Attaches a checker wire tap (null disables). Shares the telemetry
   /// node/port labels, so call after (or instead of) attach_telemetry with
   /// the same identifiers.
@@ -154,6 +165,7 @@ class TxPort {
   PortCounters counters_;
 
   const telemetry::PortProbes* telem_ = nullptr;
+  telemetry::fabric::PortMonitor* fabric_ = nullptr;
   std::uint32_t telem_node_ = 0;
   std::int32_t telem_port_ = -1;
   WireTap* tap_ = nullptr;

@@ -8,6 +8,10 @@ void Switch::receive(Packet p, PortId in_port) {
   if (out != kInvalidPort) out = apply_failover(out);
   if (out == kInvalidPort) {
     ++no_route_drops_;
+    if (fabric_ != nullptr) {
+      fabric_->on_no_route(p.buffer_bytes(),
+                           telemetry::fabric::label_bucket(p.dst_mac));
+    }
     if (tap_ != nullptr) {
       tap_->on_drop(id_, in_port, p, TapDropCause::kNoRoute);
     }

@@ -24,6 +24,7 @@
 #include "net/port.h"
 #include "net/sink.h"
 #include "sim/simulation.h"
+#include "telemetry/fabric/monitor.h"
 
 namespace presto::net {
 
@@ -86,6 +87,17 @@ class Switch : public PacketSink {
     }
   }
 
+  /// Attaches an in-fabric telemetry monitor: every output port gets the
+  /// matching PortMonitor and the switch keeps the no-route drop hook
+  /// (null detaches). Call after all ports exist; `mon` must have one
+  /// PortMonitor per port.
+  void set_fabric_monitor(telemetry::fabric::SwitchMonitor* mon) {
+    fabric_ = mon;
+    for (std::size_t i = 0; i < ports_.size(); ++i) {
+      ports_[i]->set_fabric_monitor(mon == nullptr ? nullptr : mon->port(i));
+    }
+  }
+
   /// Attaches a checker wire tap to the switch and every output port
   /// (null disables). Call after all ports exist.
   void set_tap(WireTap* tap) {
@@ -109,6 +121,7 @@ class Switch : public PacketSink {
   std::unordered_map<PortId, PortId> failover_;
   std::uint64_t no_route_drops_ = 0;
   const telemetry::SwitchProbes* telem_ = nullptr;
+  telemetry::fabric::SwitchMonitor* fabric_ = nullptr;
   WireTap* tap_ = nullptr;
 };
 

@@ -77,6 +77,18 @@ void JsonWriter::scalar(const std::string& s) {
   out_ += s;
 }
 
+void JsonWriter::raw(const std::string& prerendered) {
+  separate();
+  if (!has_elem_.empty()) has_elem_.back() = true;
+  after_key_ = false;
+  const std::string pad(2 * has_elem_.size(), ' ');
+  for (std::size_t i = 0; i < prerendered.size(); ++i) {
+    const char c = prerendered[i];
+    out_ += c;
+    if (c == '\n' && i + 1 < prerendered.size()) out_ += pad;
+  }
+}
+
 void JsonWriter::value(double v) {
   if (!std::isfinite(v)) {
     scalar("null");  // JSON has no Inf/NaN

@@ -44,6 +44,11 @@ class JsonWriter {
   void value(int v) { scalar(std::to_string(v)); }
   void value(bool v) { scalar(v ? "true" : "false"); }
 
+  /// Splices a prerendered JSON value (e.g. a nested document produced by
+  /// another JsonWriter) as the next element, re-indenting its lines to the
+  /// current nesting level. The caller guarantees it is valid JSON.
+  void raw(const std::string& prerendered);
+
   const std::string& str() const& { return out_; }
   std::string str() && { return std::move(out_); }
 

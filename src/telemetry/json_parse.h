@@ -25,6 +25,9 @@ class JsonValue {
   double as_double() const { return num_; }
   const std::string& as_string() const { return str_; }
   const std::vector<JsonValue>& as_array() const { return arr_; }
+  const std::map<std::string, JsonValue, std::less<>>& as_object() const {
+    return obj_;
+  }
 
   /// Object member by key; null-kind sentinel when absent or not an object.
   const JsonValue& get(std::string_view key) const;

@@ -15,6 +15,7 @@
 
 #include "net/types.h"
 #include "sim/time.h"
+#include "telemetry/fabric/config.h"
 #include "telemetry/metrics.h"
 #include "telemetry/span.h"
 #include "telemetry/timeseries.h"
@@ -41,6 +42,10 @@ struct TelemetryConfig {
   std::size_t span_max_events = 1 << 16;
   /// Per-host cap on flows given cwnd/srtt series (first N senders created).
   std::uint32_t flow_series_per_host = 4;
+
+  /// In-fabric telemetry plane (switch-side monitors + collection protocol
+  /// + anomaly layer; DESIGN.md §15). Independent of `metrics`.
+  fabric::FabricConfig fabric;
 
   /// True when any flight-recorder component is on (drives Session creation
   /// and trace-file export even with `metrics` off).

@@ -23,9 +23,24 @@ void TimeSeries::add(sim::Time at, double value) {
 }
 
 bool TimeSeriesSampler::add_series(std::string name, SampleFn fn) {
-  for (const auto& e : entries_) {
-    if (e->ring.name() == name) return false;
+  if (find(name) != nullptr) {
+    // Two distinct gauges sharing a name must not silently collapse into
+    // one counter track: disambiguate with the registry index (unique per
+    // entry; bump past pathological explicit "x#N" names).
+    std::size_t n = entries_.size();
+    std::string alt;
+    do {
+      alt = name + "#" + std::to_string(n++);
+    } while (find(alt) != nullptr);
+    name = std::move(alt);
   }
+  entries_.push_back(
+      std::make_unique<Entry>(std::move(name), cfg_.capacity, std::move(fn)));
+  return true;
+}
+
+bool TimeSeriesSampler::add_series_if_absent(std::string name, SampleFn fn) {
+  if (find(name) != nullptr) return false;
   entries_.push_back(
       std::make_unique<Entry>(std::move(name), cfg_.capacity, std::move(fn)));
   return true;

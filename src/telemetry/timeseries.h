@@ -72,9 +72,15 @@ class TimeSeriesSampler {
 
   explicit TimeSeriesSampler(TimeSeriesConfig cfg) : cfg_(cfg) {}
 
-  /// Registers a sampled source. Names must be unique; a duplicate is
-  /// ignored (returns false) so independent layers can race to register.
+  /// Registers a sampled source. A name collision no longer drops the new
+  /// source silently: the series is registered as `name#<registry-index>`
+  /// instead. Always returns true (kept bool for caller compatibility).
   bool add_series(std::string name, SampleFn fn);
+
+  /// Registers only when `name` is not taken yet; a duplicate is ignored
+  /// (returns false). For layers that deliberately race to register the
+  /// same logical gauge (e.g. per-flow series on reconnect).
+  bool add_series_if_absent(std::string name, SampleFn fn);
 
   /// Begins periodic sampling on `sim` (the first tick lands one interval
   /// from now). Safe to call once; sources may still be added later — they

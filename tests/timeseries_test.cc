@@ -61,8 +61,8 @@ TEST(Sampler, SamplesAtExactVirtualTimestamps) {
   TimeSeriesSampler sampler({/*interval=*/10, /*capacity=*/64});
   int calls = 0;
   ASSERT_TRUE(sampler.add_series("x", [&] { return double(++calls); }));
-  EXPECT_FALSE(sampler.add_series("x", [] { return 0.0; }))
-      << "duplicate names are ignored";
+  EXPECT_FALSE(sampler.add_series_if_absent("x", [] { return 0.0; }))
+      << "if_absent ignores duplicate names";
   sampler.start(sim);
   sim.run_until(55);
   EXPECT_EQ(sampler.ticks(), 5u);  // first tick one interval after start
@@ -74,6 +74,28 @@ TEST(Sampler, SamplesAtExactVirtualTimestamps) {
     EXPECT_EQ(ts->points()[i].value, i + 1);
   }
   EXPECT_EQ(sampler.find("missing"), nullptr);
+}
+
+// Regression: two distinct gauges registered under one name used to
+// collide silently — the second registration was dropped and its data never
+// exported. Now the collision is disambiguated with the registry index.
+TEST(Sampler, DuplicateNamesGetDistinctTracks) {
+  sim::Simulation sim;
+  TimeSeriesSampler sampler({/*interval=*/10, /*capacity=*/64});
+  EXPECT_TRUE(sampler.add_series("q.depth", [] { return 1.0; }));
+  EXPECT_TRUE(sampler.add_series("q.depth", [] { return 2.0; }));
+  EXPECT_EQ(sampler.series_count(), 2u);
+  sampler.start(sim);
+  sim.run_until(15);
+  const TimeSeries* first = sampler.find("q.depth");
+  const TimeSeries* second = sampler.find("q.depth#1");
+  ASSERT_NE(first, nullptr);
+  ASSERT_NE(second, nullptr);
+  EXPECT_EQ(first->points().back().value, 1.0);
+  EXPECT_EQ(second->points().back().value, 2.0);
+  // The suffix bumps past an explicitly taken "name#N" too.
+  EXPECT_TRUE(sampler.add_series("q.depth", [] { return 3.0; }));
+  EXPECT_NE(sampler.find("q.depth#2"), nullptr);
 }
 
 TEST(Sampler, StopHaltsFurtherTicks) {

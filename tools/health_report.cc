@@ -1,0 +1,357 @@
+// health_report: summarize or diff the fabric_health sections emitted by
+// the in-fabric telemetry plane (src/telemetry/fabric).
+//
+// Input is either a raw fabric_health document (schema
+// presto.fabric_health, as returned by FabricCollector::health_json) or a
+// bench results file (schema presto.bench) whose points embed
+// "fabric_health" sections — the tool auto-detects which. For bench files,
+// `--point LABEL` selects a point by label (default: the first point that
+// carries a health section).
+//
+// Modes:
+//   health_report <file>                 summarize one health section
+//   health_report --diff <a> <b>        compare two sections side by side
+//   health_report --extract <file>      print the raw section JSON (for
+//                                       archiving / piping into --diff)
+//
+// Exit status: 0 on success, 1 on I/O or schema errors, 2 on usage. The
+// summary exits 0 even when anomalies are flagged — this is a reporting
+// tool, not a gate; grep the "FLAGGED" lines to build one.
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "telemetry/json.h"
+#include "telemetry/json_parse.h"
+
+namespace {
+
+using presto::telemetry::JsonValue;
+
+/// Re-serializes a parsed subtree (used by --extract to slice one health
+/// section out of a bench file). Numbers went through double on the way in
+/// and the writer prints %.17g, so values round-trip exactly.
+void render(const JsonValue& v, presto::telemetry::JsonWriter& w) {
+  switch (v.kind()) {
+    case JsonValue::Kind::kNull:
+      // The writer has no null scalar; the fabric_health schema never emits
+      // one, so this only fires on foreign documents.
+      w.value("null");
+      break;
+    case JsonValue::Kind::kBool:
+      w.value(v.as_bool());
+      break;
+    case JsonValue::Kind::kNumber:
+      w.value(v.as_double());
+      break;
+    case JsonValue::Kind::kString:
+      w.value(v.as_string());
+      break;
+    case JsonValue::Kind::kArray:
+      w.begin_array();
+      for (const JsonValue& e : v.as_array()) render(e, w);
+      w.end_array();
+      break;
+    case JsonValue::Kind::kObject:
+      w.begin_object();
+      for (const auto& [key, e] : v.as_object()) {
+        w.key(key);
+        render(e, w);
+      }
+      w.end_object();
+      break;
+  }
+}
+
+struct LoadedHealth {
+  JsonValue doc;       ///< owns the parsed tree (health may point into it)
+  const JsonValue* health = nullptr;
+  std::string source;  ///< "<path>" or "<path>#<point label>"
+};
+
+bool load_file(const std::string& path, std::string& text, std::string& err) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    err = "cannot open " + path;
+    return false;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  text = buf.str();
+  return true;
+}
+
+/// Finds the fabric_health section in `doc`: either the document itself or
+/// an embedded bench point. `point` filters bench points by label ("" =
+/// first point with a health section).
+const JsonValue* find_health(const JsonValue& doc, const std::string& point,
+                             std::string* label_out, std::string& err) {
+  const std::string schema = doc.str_or("schema", "");
+  if (schema == "presto.fabric_health") return &doc;
+  const JsonValue& points = doc.get("points");
+  if (points.kind() != JsonValue::Kind::kArray) {
+    err = "document is neither a fabric_health section nor a bench file "
+          "with points (schema '" + schema + "')";
+    return nullptr;
+  }
+  for (const JsonValue& p : points.as_array()) {
+    const std::string label = p.str_or("label", "");
+    if (!point.empty() && label != point) continue;
+    const JsonValue& h = p.get("fabric_health");
+    if (h.kind() == JsonValue::Kind::kObject) {
+      if (label_out != nullptr) *label_out = label;
+      return &h;
+    }
+    if (!point.empty()) {
+      err = "point '" + point + "' has no fabric_health section";
+      return nullptr;
+    }
+  }
+  err = point.empty()
+            ? std::string("no point carries a fabric_health section")
+            : "no point labelled '" + point + "'";
+  return nullptr;
+}
+
+bool load_health(const std::string& path, const std::string& point,
+                 LoadedHealth& out, std::string& err) {
+  std::string text;
+  if (!load_file(path, text, err)) return false;
+  if (!presto::telemetry::parse_json(text, out.doc, err)) {
+    err = path + ": " + err;
+    return false;
+  }
+  std::string label;
+  out.health = find_health(out.doc, point, &label, err);
+  if (out.health == nullptr) {
+    err = path + ": " + err;
+    return false;
+  }
+  out.source = label.empty() ? path : path + "#" + label;
+  return true;
+}
+
+std::uint64_t u64(const JsonValue& v, const char* key) {
+  return static_cast<std::uint64_t>(v.num_or(key, 0));
+}
+
+/// All label names present in either health section. The parsed object map
+/// sorts keys, so the order is deterministic (alphabetical).
+std::vector<std::string> label_union(const JsonValue& a, const JsonValue& b) {
+  std::vector<std::string> names;
+  auto collect = [&names](const JsonValue& h) {
+    const JsonValue& labels = h.get("labels");
+    if (labels.kind() != JsonValue::Kind::kObject) return;
+    for (const auto& [name, _] : labels.as_object()) {
+      bool seen = false;
+      for (const std::string& n : names) seen = seen || n == name;
+      if (!seen) names.push_back(name);
+    }
+  };
+  collect(a);
+  collect(b);
+  return names;
+}
+
+void print_anomalies(const JsonValue& h) {
+  const JsonValue& an = h.get("anomalies");
+  const JsonValue& imb = an.get("imbalance");
+  std::printf("  imbalance      index %.3f over %llu labels%s",
+              imb.num_or("index", 0),
+              static_cast<unsigned long long>(u64(imb, "active_labels")),
+              imb.get("flagged").as_bool() ? "  [FLAGGED" : "");
+  if (imb.get("flagged").as_bool()) {
+    std::printf(" hot=%s cold=%s]", imb.str_or("hot_label", "?").c_str(),
+                imb.str_or("cold_label", "?").c_str());
+  }
+  std::printf("\n");
+
+  const JsonValue& loss = an.get("loss_outliers");
+  if (loss.kind() == JsonValue::Kind::kArray) {
+    for (const JsonValue& o : loss.as_array()) {
+      std::printf("  loss outlier   %-6s %.3f%% vs mean %.3f%% "
+                  "(%llu drops)  [FLAGGED]\n",
+                  o.str_or("label", "?").c_str(), o.num_or("loss_pct", 0),
+                  o.num_or("mean_loss_pct", 0),
+                  static_cast<unsigned long long>(u64(o, "drop_packets")));
+    }
+  }
+  const JsonValue& hot = an.get("hotspots");
+  if (hot.kind() == JsonValue::Kind::kArray) {
+    for (const JsonValue& o : hot.as_array()) {
+      std::printf("  hotspot        sw%llu/p%llu util %.3f for %llu "
+                  "reports  [FLAGGED]\n",
+                  static_cast<unsigned long long>(u64(o, "switch")),
+                  static_cast<unsigned long long>(u64(o, "port")),
+                  o.num_or("util_ewma", 0),
+                  static_cast<unsigned long long>(u64(o, "streak")));
+    }
+  }
+  const JsonValue& silent = an.get("silent_switches");
+  if (silent.kind() == JsonValue::Kind::kArray) {
+    for (const JsonValue& o : silent.as_array()) {
+      const double st = o.num_or("staleness_periods", 0);
+      if (st < 0) {
+        std::printf("  silent switch  sw%llu never reported  [FLAGGED]\n",
+                    static_cast<unsigned long long>(u64(o, "switch")));
+      } else {
+        std::printf("  silent switch  sw%llu stale %.1f periods  [FLAGGED]\n",
+                    static_cast<unsigned long long>(u64(o, "switch")), st);
+      }
+    }
+  }
+  const JsonValue& bursts = an.get("microbursts");
+  if (bursts.kind() == JsonValue::Kind::kArray) {
+    for (const JsonValue& o : bursts.as_array()) {
+      std::printf("  microburst     sw%llu/p%llu %llu episodes, "
+                  "max %.1f us, peak %llu B\n",
+                  static_cast<unsigned long long>(u64(o, "switch")),
+                  static_cast<unsigned long long>(u64(o, "port")),
+                  static_cast<unsigned long long>(u64(o, "episodes")),
+                  o.num_or("max_duration_ns", 0) / 1000.0,
+                  static_cast<unsigned long long>(u64(o, "peak_bytes")));
+    }
+  }
+}
+
+int summarize(const LoadedHealth& lh) {
+  const JsonValue& h = *lh.health;
+  const JsonValue& coll = h.get("collector");
+  std::printf("%s  (%s v%d, generated at %.3f ms)\n", lh.source.c_str(),
+              h.str_or("schema", "?").c_str(),
+              static_cast<int>(h.num_or("schema_version", 0)),
+              h.num_or("generated_at_ns", 0) / 1e6);
+  std::printf("collector: %llu switches, %llu reports accepted "
+              "(%llu received, %llu dup, %llu reordered, %llu lost), "
+              "%llu silent\n",
+              static_cast<unsigned long long>(u64(coll, "switches")),
+              static_cast<unsigned long long>(u64(coll, "reports_accepted")),
+              static_cast<unsigned long long>(u64(coll, "reports_received")),
+              static_cast<unsigned long long>(u64(coll, "duplicates")),
+              static_cast<unsigned long long>(u64(coll, "reordered")),
+              static_cast<unsigned long long>(u64(coll, "lost")),
+              static_cast<unsigned long long>(u64(coll, "silent_switches")));
+
+  std::printf("\nper-label traffic\n");
+  std::printf("%-8s %14s %12s %10s %8s %12s %12s\n", "label", "tx_bytes",
+              "tx_packets", "drops", "loss%", "depth_p99", "depth_max");
+  const JsonValue& labels = h.get("labels");
+  if (labels.kind() == JsonValue::Kind::kObject) {
+    for (const auto& [name, l] : labels.as_object()) {
+      std::printf("%-8s %14llu %12llu %10llu %7.3f%% %12.0f %12.0f\n",
+                  name.c_str(),
+                  static_cast<unsigned long long>(u64(l, "tx_bytes")),
+                  static_cast<unsigned long long>(u64(l, "tx_packets")),
+                  static_cast<unsigned long long>(u64(l, "drop_packets")),
+                  l.num_or("loss_pct", 0), l.num_or("depth_p99", 0),
+                  l.num_or("depth_max", 0));
+    }
+  }
+
+  std::printf("\nanomalies\n");
+  print_anomalies(h);
+  return 0;
+}
+
+int diff(const LoadedHealth& a, const LoadedHealth& b) {
+  const JsonValue& ha = *a.health;
+  const JsonValue& hb = *b.health;
+  std::printf("A: %s\nB: %s\n", a.source.c_str(), b.source.c_str());
+
+  const JsonValue& ca = ha.get("collector");
+  const JsonValue& cb = hb.get("collector");
+  std::printf("\ncollector                 %14s %14s %14s\n", "A", "B",
+              "delta");
+  for (const char* key :
+       {"reports_received", "reports_accepted", "duplicates", "reordered",
+        "lost", "silent_switches"}) {
+    const auto va = static_cast<long long>(u64(ca, key));
+    const auto vb = static_cast<long long>(u64(cb, key));
+    std::printf("  %-22s %14lld %14lld %+14lld\n", key, va, vb, vb - va);
+  }
+
+  std::printf("\nper-label loss%% / tx_bytes\n");
+  std::printf("  %-8s %10s %10s  %14s %14s\n", "label", "A loss%", "B loss%",
+              "A bytes", "B bytes");
+  for (const std::string& name : label_union(ha, hb)) {
+    const JsonValue& la = ha.get("labels").get(name);
+    const JsonValue& lb = hb.get("labels").get(name);
+    std::printf("  %-8s %9.3f%% %9.3f%%  %14llu %14llu\n", name.c_str(),
+                la.num_or("loss_pct", 0), lb.num_or("loss_pct", 0),
+                static_cast<unsigned long long>(u64(la, "tx_bytes")),
+                static_cast<unsigned long long>(u64(lb, "tx_bytes")));
+  }
+
+  const double ia = ha.get("anomalies").get("imbalance").num_or("index", 0);
+  const double ib = hb.get("anomalies").get("imbalance").num_or("index", 0);
+  std::printf("\nimbalance index: A %.3f -> B %.3f (%+.3f)\n", ia, ib,
+              ib - ia);
+  std::printf("\nanomalies in A\n");
+  print_anomalies(ha);
+  std::printf("\nanomalies in B\n");
+  print_anomalies(hb);
+  return 0;
+}
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--point LABEL] <file>\n"
+               "       %s [--point LABEL] --extract <file>\n"
+               "       %s [--point LABEL] --diff <a> <b>\n"
+               "files: raw fabric_health JSON or presto.bench results\n",
+               argv0, argv0, argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string point;
+  bool want_diff = false;
+  bool want_extract = false;
+  std::vector<std::string> files;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--point" && i + 1 < argc) {
+      point = argv[++i];
+    } else if (arg == "--diff") {
+      want_diff = true;
+    } else if (arg == "--extract") {
+      want_extract = true;
+    } else if (!arg.empty() && arg[0] != '-') {
+      files.push_back(arg);
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (want_diff ? files.size() != 2 : files.size() != 1) {
+    return usage(argv[0]);
+  }
+
+  std::string err;
+  LoadedHealth a;
+  if (!load_health(files[0], point, a, err)) {
+    std::fprintf(stderr, "health_report: %s\n", err.c_str());
+    return 1;
+  }
+  if (want_diff) {
+    LoadedHealth b;
+    if (!load_health(files[1], point, b, err)) {
+      std::fprintf(stderr, "health_report: %s\n", err.c_str());
+      return 1;
+    }
+    return diff(a, b);
+  }
+  if (want_extract) {
+    presto::telemetry::JsonWriter w;
+    render(*a.health, w);
+    std::printf("%s\n", std::move(w).str().c_str());
+    return 0;
+  }
+  return summarize(a);
+}

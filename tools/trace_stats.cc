@@ -76,6 +76,31 @@ struct Filter {
   std::uint32_t hop = 0;
 };
 
+/// 1-based line number of a byte offset in `text` (for warnings/errors that
+/// should point a human at the right place in a large JSON file).
+std::size_t line_of(const std::string& text, std::size_t offset) {
+  if (offset > text.size()) offset = text.size();
+  std::size_t line = 1;
+  for (std::size_t i = 0; i < offset; ++i) {
+    if (text[i] == '\n') ++line;
+  }
+  return line;
+}
+
+/// Line of the first occurrence of `needle` (1 when absent: the root).
+std::size_t line_of_key(const std::string& text, const std::string& needle) {
+  const std::size_t pos = text.find(needle);
+  return pos == std::string::npos ? 1 : line_of(text, pos);
+}
+
+/// Parse errors carry "... at offset N"; recover N for line mapping.
+std::size_t offset_of_error(const std::string& error) {
+  const std::size_t at = error.rfind(" at offset ");
+  if (at == std::string::npos) return 0;
+  return static_cast<std::size_t>(
+      std::strtoull(error.c_str() + at + 11, nullptr, 10));
+}
+
 bool parse_hop(const std::string& spec, std::uint32_t& out) {
   std::string digits = spec;
   std::uint32_t base = 0;
@@ -209,15 +234,41 @@ int main(int argc, char** argv) {
   JsonValue doc;
   std::string error;
   if (!presto::telemetry::parse_json(text, doc, error)) {
-    std::fprintf(stderr, "trace_stats: %s: %s\n", path.c_str(), error.c_str());
+    std::fprintf(stderr, "trace_stats: %s:%zu: %s\n", path.c_str(),
+                 line_of(text, offset_of_error(error)), error.c_str());
     return 1;
+  }
+
+  // Traces may carry optional summary blocks (a bench-style "metrics" map,
+  // a fabric_health section) alongside traceEvents. None of them is
+  // required: note what's missing with a line number and keep going with
+  // whatever the file does have.
+  const JsonValue& health = doc.get("fabric_health");
+  const JsonValue& metrics = doc.get("metrics");
+  if (health.kind() != JsonValue::Kind::kObject &&
+      metrics.kind() != JsonValue::Kind::kObject) {
+    std::fprintf(stderr,
+                 "trace_stats: warning: %s:%zu: no optional metrics/"
+                 "fabric_health block; span stats only\n",
+                 path.c_str(), line_of_key(text, "{"));
   }
 
   const JsonValue& events = doc.get("traceEvents");
   if (events.kind() != JsonValue::Kind::kArray) {
-    std::fprintf(stderr, "trace_stats: %s: no traceEvents array\n",
-                 path.c_str());
-    return 1;
+    std::fprintf(stderr,
+                 "trace_stats: warning: %s:%zu: no traceEvents array; "
+                 "nothing to slice\n",
+                 path.c_str(), line_of_key(text, "{"));
+    if (health.kind() == JsonValue::Kind::kObject) {
+      const JsonValue& coll = health.get("collector");
+      std::printf("fabric_health %s v%d: %d switches, %d reports, %d lost\n",
+                  health.str_or("schema", "?").c_str(),
+                  static_cast<int>(health.num_or("schema_version", 0)),
+                  static_cast<int>(coll.num_or("switches", 0)),
+                  static_cast<int>(coll.num_or("reports_received", 0)),
+                  static_cast<int>(coll.num_or("lost", 0)));
+    }
+    return 0;
   }
 
   std::map<std::uint64_t, SpanRec> spans;
