@@ -14,6 +14,10 @@
 //
 // `--smoke` shrinks the sweep (2 loads x 2 schemes x 1 mix, short windows)
 // for CI; PRESTO_BENCH_TIME_SCALE scales the windows in either mode.
+// `--scheme <id>` restricts the sweep to one registry scheme (the CI
+// scheme-matrix job runs `--smoke --scheme <id>` per registered scheme,
+// which covers the Clos *and* the asymmetric fabric); `--topo <id>`
+// restricts the passes to one topology kind.
 
 #include <cstring>
 #include <memory>
@@ -22,6 +26,7 @@
 
 #include "bench_util.h"
 #include "harness/openloop.h"
+#include "lb/registry.h"
 #include "workload/openloop/generator.h"
 
 using namespace presto;
@@ -32,12 +37,14 @@ namespace {
 namespace ol = workload::openloop;
 
 harness::OpenLoopResult run_point(harness::Scheme scheme,
+                                  net::TopologyKind topo,
                                   const ol::EmpiricalCdf& sizes, double load,
                                   std::uint64_t seed,
                                   const harness::OpenLoopOptions& opt,
                                   sim::Time incast_interval, bool telemetry) {
   harness::ExperimentConfig cfg;
   cfg.scheme = scheme;
+  cfg.topology = topo;
   cfg.seed = seed;
   cfg.telemetry.metrics = telemetry;
   if (telemetry) {
@@ -88,8 +95,26 @@ struct Digest {
 
 int main(int argc, char** argv) {
   bool smoke = false;
+  bool have_scheme = false;
+  harness::Scheme only_scheme = harness::Scheme::kPresto;
+  bool have_topo = false;
+  net::TopologyKind only_topo = net::TopologyKind::kClos;
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--scheme") == 0 && i + 1 < argc) {
+      if (!lb::parse_scheme_id(argv[++i], &only_scheme)) {
+        std::fprintf(stderr, "unknown --scheme: %s\n", argv[i]);
+        return 2;
+      }
+      have_scheme = true;
+    } else if (std::strcmp(argv[i], "--topo") == 0 && i + 1 < argc) {
+      if (!net::parse_topology_kind(argv[++i], &only_topo)) {
+        std::fprintf(stderr, "unknown --topo: %s\n", argv[i]);
+        return 2;
+      }
+      have_topo = true;
+    }
   }
   JsonReporter json("fig20_openloop_fct", argc, argv);
   json.note_run_config(seed_count(), time_scale());
@@ -97,12 +122,29 @@ int main(int argc, char** argv) {
   const ol::EmpiricalCdf websearch = ol::EmpiricalCdf::websearch();
   const ol::EmpiricalCdf datamining = ol::EmpiricalCdf::datamining();
 
+  using MixList = std::vector<std::pair<const char*, const ol::EmpiricalCdf*>>;
+  struct Pass {
+    net::TopologyKind topo;
+    std::vector<harness::Scheme> schemes;
+    MixList mixes;
+  };
+
   std::vector<double> loads = {0.1, 0.3, 0.5, 0.7, 0.9};
-  std::vector<harness::Scheme> schemes = {harness::Scheme::kEcmp,
-                                          harness::Scheme::kPresto,
-                                          harness::Scheme::kOptimal};
-  std::vector<std::pair<const char*, const ol::EmpiricalCdf*>> mixes = {
-      {"websearch", &websearch}, {"datamining", &datamining}};
+  // Pass 1: the symmetric Clos with the full rival set. Pass 2: the
+  // asymmetric fabric (one slowed spine), where static-hash and blind
+  // round-robin spraying misjudge path capacity in different ways.
+  std::vector<Pass> passes = {
+      {net::TopologyKind::kClos,
+       {harness::Scheme::kEcmp, harness::Scheme::kPresto,
+        harness::Scheme::kOptimal, harness::Scheme::kFlowDyn,
+        harness::Scheme::kDiffFlow, harness::Scheme::kSprinklers},
+       {{"websearch", &websearch}, {"datamining", &datamining}}},
+      {net::TopologyKind::kAsymClos,
+       {harness::Scheme::kPresto, harness::Scheme::kEcmp,
+        harness::Scheme::kFlowDyn, harness::Scheme::kDiffFlow,
+        harness::Scheme::kSprinklers},
+       {{"websearch", &websearch}}},
+  };
 
   harness::OpenLoopOptions opt;
   opt.warmup = scaled(50 * sim::kMillisecond);
@@ -111,12 +153,38 @@ int main(int argc, char** argv) {
   sim::Time incast_interval = scaled(20 * sim::kMillisecond);
   if (smoke) {
     loads = {0.3, 0.7};
-    schemes = {harness::Scheme::kEcmp, harness::Scheme::kPresto};
-    mixes = {{"websearch", &websearch}};
+    passes = {{net::TopologyKind::kClos,
+               {harness::Scheme::kEcmp, harness::Scheme::kPresto},
+               {{"websearch", &websearch}}},
+              {net::TopologyKind::kAsymClos,
+               {harness::Scheme::kEcmp, harness::Scheme::kPresto},
+               {{"websearch", &websearch}}}};
+    if (!have_scheme && !have_topo) passes.pop_back();  // legacy smoke shape
     opt.warmup = scaled(10 * sim::kMillisecond);
     opt.measure = scaled(60 * sim::kMillisecond);
     opt.drain = scaled(60 * sim::kMillisecond);
     incast_interval = scaled(5 * sim::kMillisecond);
+  }
+  if (have_scheme) {
+    const bool single_switch =
+        lb::SchemeRegistry::instance().info(only_scheme).single_switch;
+    for (Pass& p : passes) p.schemes = {only_scheme};
+    if (single_switch) {
+      // Optimal replaces the fabric with one big switch; the asymmetric
+      // pass would silently measure the same thing twice.
+      while (passes.size() > 1) passes.pop_back();
+    }
+  }
+  if (have_topo) {
+    std::vector<Pass> kept;
+    for (Pass& p : passes) {
+      if (p.topo == only_topo) kept.push_back(std::move(p));
+    }
+    if (kept.empty() && !passes.empty()) {
+      kept.push_back(std::move(passes.front()));
+      kept.front().topo = only_topo;
+    }
+    passes = std::move(kept);
   }
 
   std::uint64_t total_offered = 0;
@@ -124,12 +192,14 @@ int main(int argc, char** argv) {
   Digest digest;
 
   std::printf("Figure 20: open-loop FCT vs offered load (ms, from sketches)\n");
-  for (const auto& [mix_name, cdf] : mixes) {
-    std::printf("\n%-10s %-8s %8s %7s %9s %9s %9s %9s %9s\n", mix_name,
-                "scheme", "flows", "load", "p50", "p99", "p99.9", "mice p99",
-                "eleph p50");
+  for (const Pass& pass : passes) {
+  const char* topo_id = net::topology_kind_id(pass.topo);
+  for (const auto& [mix_name, cdf] : pass.mixes) {
+    std::printf("\n[%s] %-10s %-8s %8s %7s %9s %9s %9s %9s %9s\n", topo_id,
+                mix_name, "scheme", "flows", "load", "p50", "p99", "p99.9",
+                "mice p99", "eleph p50");
     for (double load : loads) {
-      for (harness::Scheme scheme : schemes) {
+      for (harness::Scheme scheme : pass.schemes) {
         // One seed replica per sweep-pool slot; OpenLoopResults are merged
         // in seed order (sketch merges are associative, so the merged
         // percentiles are independent of completion order anyway).
@@ -138,7 +208,7 @@ int main(int argc, char** argv) {
             static_cast<std::size_t>(n));
         harness::run_indexed(n, thread_count(), [&](int s) {
           reps[static_cast<std::size_t>(s)] =
-              run_point(scheme, *cdf, load,
+              run_point(scheme, pass.topo, *cdf, load,
                         6100 + 13 * static_cast<std::uint64_t>(s), opt,
                         incast_interval, json.enabled());
           return harness::RunResult();
@@ -184,9 +254,14 @@ int main(int argc, char** argv) {
           sweep.fabric_health_json = agg.fabric_health_json;
           harness::ExperimentConfig cfg;
           cfg.scheme = scheme;
+          cfg.topology = pass.topo;
+          std::string point = std::string(harness::scheme_name(scheme)) + "/" +
+                              mix_name;
+          if (pass.topo != net::TopologyKind::kClos) {
+            point += std::string("@") + topo_id;
+          }
           json.set_point(
-              std::string(harness::scheme_name(scheme)) + "/" + mix_name +
-                  "/load" + std::to_string(load).substr(0, 3),
+              point + "/load" + std::to_string(load).substr(0, 3),
               {{"load", load},
                {"measured_load", agg.measured_load},
                {"flows_offered", static_cast<double>(agg.flows_offered)},
@@ -199,6 +274,7 @@ int main(int argc, char** argv) {
         }
       }
     }
+  }
   }
 
   std::printf("\ntotal flows offered %llu (measured-window completions %llu)"

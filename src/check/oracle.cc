@@ -34,6 +34,7 @@ const char* oracle_kind_name(OracleKind k) {
     case OracleKind::kLiveness: return "liveness";
     case OracleKind::kLeak: return "leak";
     case OracleKind::kDifferential: return "differential";
+    case OracleKind::kOrdering: return "ordering";
   }
   return "?";
 }
@@ -70,6 +71,10 @@ std::string Checker::report() const {
 void Checker::arm() {
   if (armed_) return;
   armed_ = true;
+
+  ordering_armed_ =
+      opt_.ordering &&
+      lb::SchemeRegistry::instance().info(ex_.config().scheme).reordering_free;
 
   net::Topology& topo = ex_.topo();
 
@@ -241,7 +246,9 @@ void Checker::on_switch_rx(net::SwitchId sw, net::PortId in_port,
       add_violation(OracleKind::kTopology,
                     strf("S%u: tunnel label names non-leaf %u (%s)", sw, leaf,
                          flow_name(p.flow).c_str()));
-    } else if (is_leaf_[sw] && o.kind == PortOrigin::kSwitch && leaf != sw) {
+    } else if (is_leaf_[sw] && o.kind == PortOrigin::kSwitch && leaf != sw &&
+               tree_spine_[tree] != sw) {
+      // (A mesh tree rooted at this leaf legitimately transits it.)
       add_violation(
           OracleKind::kTopology,
           strf("tunnel for leaf S%u descended into leaf S%u (%s)", leaf, sw,
@@ -263,7 +270,8 @@ void Checker::on_switch_rx(net::SwitchId sw, net::PortId in_port,
              label_host, p.dst_host, sw, flow_name(p.flow).c_str()));
   }
   if (is_leaf_[sw] && o.kind == PortOrigin::kSwitch &&
-      attach_switch_[label_host] != sw) {
+      attach_switch_[label_host] != sw && tree_spine_[tree] != sw) {
+    // (Second condition: a mesh tree rooted at this leaf transits it.)
     add_violation(
         OracleKind::kTopology,
         strf("frame for H%u (leaf S%u) descended into leaf S%u (%s)",
@@ -305,6 +313,21 @@ void Checker::on_host_rx(net::HostId host, const net::Packet& p) {
       const std::uint64_t end = p.seq + p.payload;
       fa.arrived.add(p.seq, end);
       if (opt_.gro) fa.cell_arrived[p.flowcell_id].add(p.seq, end);
+      // Ordering oracle: fresh data leaves the sender in increasing seq
+      // order, so a reordering-free scheme (FIFO paths, no mid-flight path
+      // change) must deliver it monotonically too. Retransmissions are
+      // exempt — they legitimately revisit old sequence space.
+      if (ordering_armed_ && !p.is_retx) {
+        if (end <= fa.inorder_frontier) {
+          add_violation(
+              OracleKind::kOrdering,
+              strf("%s: fresh frame [%" PRIu64 ", %" PRIu64
+                   ") delivered behind the in-order frontier %" PRIu64,
+                   flow_name(p.flow).c_str(), p.seq, end,
+                   fa.inorder_frontier));
+        }
+        if (end > fa.inorder_frontier) fa.inorder_frontier = end;
+      }
     }
   }
   if (opt_.leak && p.payload > 0) live_erase(p);

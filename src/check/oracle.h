@@ -59,6 +59,10 @@ enum class OracleKind : std::uint8_t {
   kLeak,
   /// Cross-scheme differential divergence (soak lock-step mode).
   kDifferential,
+  /// In-order delivery: a scheme whose registry entry claims
+  /// `reordering_free` delivered a fresh (non-retransmitted) data frame
+  /// below the flow's in-order frontier. Armed only for such schemes.
+  kOrdering,
 };
 
 const char* oracle_kind_name(OracleKind k);
@@ -83,6 +87,10 @@ struct CheckerOptions {
   /// checker from scheduling its own events, which would defeat
   /// run-to-quiesce detection.
   std::uint32_t tcp_poll_every = 1024;
+  /// In-order-delivery oracle for schemes registered as `reordering_free`
+  /// (no-op for the rest). Like `strict_tree_spine`, only valid while no
+  /// fault fires: a failover reroute legitimately races in-flight frames.
+  bool ordering = true;
   /// Recording stops after this many violations (the count keeps rising).
   std::size_t max_violations = 64;
   /// Track every live data frame (payload > 0) from uplink enqueue to
@@ -157,6 +165,9 @@ class Checker final : public net::WireTap {
     tcp::RangeSet pushed;
     /// Arrival coverage per flowcell (Presto GRO boundary differential).
     std::map<std::uint64_t, tcp::RangeSet> cell_arrived;
+    /// Highest end-seq among fresh data frames delivered so far (ordering
+    /// oracle): a reordering-free scheme must never deliver below it.
+    std::uint64_t inorder_frontier = 0;
     /// Live in-flight frame tokens keyed (seq, payload): inserted when the
     /// origin host enqueues the frame, touched at every transit enqueue,
     /// erased on delivery or attributed drop. `count` handles a
@@ -203,6 +214,8 @@ class Checker final : public net::WireTap {
   harness::Experiment& ex_;
   CheckerOptions opt_;
   bool armed_ = false;
+  /// opt_.ordering && the scheme's registry entry claims reordering_free.
+  bool ordering_armed_ = false;
 
   // Topology shadow state (built in arm()).
   std::vector<std::vector<PortOrigin>> origin_;   ///< [switch][in_port]

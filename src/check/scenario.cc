@@ -81,6 +81,7 @@ void install_bug(harness::Experiment& ex, const std::string& bug) {
 harness::ExperimentConfig experiment_config(const Scenario& sc) {
   harness::ExperimentConfig cfg;
   cfg.scheme = sc.scheme;
+  cfg.topology = sc.topo;
   cfg.spines = sc.spines;
   cfg.leaves = sc.leaves;
   cfg.hosts_per_leaf = sc.hosts_per_leaf;
@@ -101,8 +102,11 @@ harness::ExperimentConfig experiment_config(const Scenario& sc) {
 
 CheckerOptions adjust_options(CheckerOptions opt, const Scenario& sc) {
   // Failover bounce-back and reroutes legitimately move a tree's frames
-  // across other spines, so the strict pinning only runs fault-free.
+  // across other spines, so the strict pinning only runs fault-free. The
+  // ordering oracle has the same caveat: a reroute races in-flight frames
+  // of an otherwise reordering-free scheme.
   opt.strict_tree_spine = opt.strict_tree_spine && sc.fault_units.empty();
+  opt.ordering = opt.ordering && sc.fault_units.empty();
   return opt;
 }
 
@@ -113,30 +117,11 @@ void append_list_or_dash(std::string& out, const std::string& list) {
 }  // namespace
 
 const char* scheme_spec_name(harness::Scheme s) {
-  switch (s) {
-    case harness::Scheme::kEcmp: return "ecmp";
-    case harness::Scheme::kMptcp: return "mptcp";
-    case harness::Scheme::kPresto: return "presto";
-    case harness::Scheme::kOptimal: return "optimal";
-    case harness::Scheme::kFlowlet: return "flowlet";
-    case harness::Scheme::kPrestoEcmp: return "presto_ecmp";
-    case harness::Scheme::kPerPacket: return "per_packet";
-  }
-  return "?";
+  return lb::scheme_spec_id(s);
 }
 
 bool parse_scheme_name(const std::string& id, harness::Scheme* out) {
-  for (harness::Scheme s :
-       {harness::Scheme::kEcmp, harness::Scheme::kMptcp,
-        harness::Scheme::kPresto, harness::Scheme::kOptimal,
-        harness::Scheme::kFlowlet, harness::Scheme::kPrestoEcmp,
-        harness::Scheme::kPerPacket}) {
-    if (id == scheme_spec_name(s)) {
-      *out = s;
-      return true;
-    }
-  }
-  return false;
+  return lb::parse_scheme_id(id, out);
 }
 
 std::string Scenario::fault_plan() const {
@@ -149,12 +134,16 @@ std::string Scenario::fault_plan() const {
 }
 
 std::string Scenario::to_string() const {
-  std::string out = strf(
-      "seed=%" PRIu64
-      " scheme=%s spines=%u leaves=%u hpl=%u gamma=%u buf=%" PRIu64
+  std::string out = strf("seed=%" PRIu64 " scheme=%s", seed,
+                         scheme_spec_name(scheme));
+  if (topo != net::TopologyKind::kClos) {
+    out += strf(" topo=%s", net::topology_kind_id(topo));
+  }
+  out += strf(
+      " spines=%u leaves=%u hpl=%u gamma=%u buf=%" PRIu64
       " suspicion=%d cap_us=%" PRId64,
-      seed, scheme_spec_name(scheme), spines, leaves, hosts_per_leaf, gamma,
-      switch_buffer_bytes, edge_suspicion ? 1 : 0,
+      spines, leaves, hosts_per_leaf, gamma, switch_buffer_bytes,
+      edge_suspicion ? 1 : 0,
       static_cast<std::int64_t>(cap / sim::kMicrosecond));
   out += " flows=";
   std::string list;
@@ -227,6 +216,10 @@ bool Scenario::parse(const std::string& text, Scenario* out,
       if (!as_u64(&sc.seed)) return fail("bad seed");
     } else if (key == "scheme") {
       if (!parse_scheme_name(value, &sc.scheme)) return fail("bad scheme: " + value);
+    } else if (key == "topo") {
+      if (!net::parse_topology_kind(value, &sc.topo)) {
+        return fail("bad topo: " + value);
+      }
     } else if (key == "spines") {
       if (!as_u64(&u)) return fail("bad spines");
       sc.spines = static_cast<std::uint32_t>(u);
@@ -325,7 +318,7 @@ Scenario Scenario::generate(std::uint64_t seed) {
   Scenario sc;
   sc.seed = seed;
 
-  switch (rng.below(5)) {
+  switch (rng.below(8)) {
     case 0: sc.scheme = harness::Scheme::kPresto; break;
     case 1:
       sc.scheme = harness::Scheme::kPresto;
@@ -333,7 +326,18 @@ Scenario Scenario::generate(std::uint64_t seed) {
       break;
     case 2: sc.scheme = harness::Scheme::kEcmp; break;
     case 3: sc.scheme = harness::Scheme::kPrestoEcmp; break;
-    default: sc.scheme = harness::Scheme::kFlowlet; break;
+    case 4: sc.scheme = harness::Scheme::kFlowlet; break;
+    case 5: sc.scheme = harness::Scheme::kFlowDyn; break;
+    case 6: sc.scheme = harness::Scheme::kDiffFlow; break;
+    default: sc.scheme = harness::Scheme::kSprinklers; break;
+  }
+  // Weighted toward the symmetric Clos; one draw in eight for each of the
+  // asymmetric regimes.
+  switch (rng.below(8)) {
+    case 5: sc.topo = net::TopologyKind::kAsymClos; break;
+    case 6: sc.topo = net::TopologyKind::kOversubClos; break;
+    case 7: sc.topo = net::TopologyKind::kLeafMesh; break;
+    default: sc.topo = net::TopologyKind::kClos; break;
   }
   sc.spines = 2 + static_cast<std::uint32_t>(rng.below(3));
   sc.leaves = 2 + static_cast<std::uint32_t>(rng.below(2));
@@ -368,8 +372,10 @@ Scenario Scenario::generate(std::uint64_t seed) {
 
   // Fault units: each one injects and then fully recovers well before the
   // cap, so a correct run always drains. Switch ids follow make_clos
-  // numbering (spines first, then leaves).
-  const std::size_t n_faults = rng.below(4);
+  // numbering (spines first, then leaves), so the mesh — with neither
+  // spines nor that numbering — fuzzes fault-free.
+  const std::size_t n_faults =
+      sc.topo == net::TopologyKind::kLeafMesh ? 0 : rng.below(4);
   for (std::size_t i = 0; i < n_faults; ++i) {
     const std::uint32_t leaf_sw =
         sc.spines + static_cast<std::uint32_t>(rng.below(sc.leaves));

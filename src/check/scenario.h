@@ -19,7 +19,9 @@
 namespace presto::check {
 
 /// Stable lowercase scheme ids used by the one-line spec and the soak
-/// manifest ("presto", "ecmp", ...).
+/// manifest ("presto", "ecmp", ...). Thin aliases over the scheme
+/// registry's spec ids (lb/registry.h) — hidden schemes parse too, so a
+/// planted-violator repro spec replays verbatim.
 const char* scheme_spec_name(harness::Scheme s);
 bool parse_scheme_name(const std::string& id, harness::Scheme* out);
 
@@ -39,6 +41,10 @@ struct RpcSpec {
 struct Scenario {
   std::uint64_t seed = 1;
   harness::Scheme scheme = harness::Scheme::kPresto;
+  /// Fabric shape; non-Clos kinds fuzz the asymmetric-path regimes. The
+  /// one-line spec omits the key when it is kClos, so pre-existing specs
+  /// replay unchanged.
+  net::TopologyKind topo = net::TopologyKind::kClos;
   std::uint32_t spines = 2;
   std::uint32_t leaves = 2;
   std::uint32_t hosts_per_leaf = 2;

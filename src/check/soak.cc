@@ -167,7 +167,11 @@ SoakResult run_soak(const Scenario& sc, const SoakOptions& opt) {
 DiffResult run_differential_soak(const Scenario& sc, const SoakOptions& opt,
                                  const DiffOptions& dopt) {
   DiffResult res;
-  res.schemes_run = dopt.schemes;
+  if (dopt.all_schemes) {
+    res.schemes_run = lb::SchemeRegistry::instance().differential_schemes();
+  } else {
+    res.schemes_run = dopt.schemes;
+  }
   if (res.schemes_run.empty()) {
     res.schemes_run = {harness::Scheme::kPresto, harness::Scheme::kEcmp,
                        harness::Scheme::kFlowlet};
@@ -218,15 +222,21 @@ DiffResult run_differential_soak(const Scenario& sc, const SoakOptions& opt,
     const std::uint64_t allowed = std::max(
         dopt.min_gap_bytes,
         static_cast<std::uint64_t>(dopt.tolerance * static_cast<double>(hi)));
-    if (gap > allowed && res.divergence_epoch == 0) {
-      res.divergence_epoch = epoch;
-      drivers[lo_scheme]->run().checker().note(
-          OracleKind::kDifferential,
-          strf("epoch %u: scheme %s delivered %" PRIu64
-               " app bytes vs %" PRIu64 " for the best scheme "
-               "(gap %" PRIu64 " > allowed %" PRIu64 ")",
-               epoch, scheme_spec_name(res.schemes_run[lo_scheme]), lo, hi, gap,
-               allowed));
+    if (gap > allowed) {
+      if (res.disagreements.size() < DiffResult::kMaxDisagreements) {
+        res.disagreements.push_back(Disagreement{
+            epoch, scheme_spec_name(res.schemes_run[lo_scheme]), lo, hi});
+      }
+      if (res.divergence_epoch == 0) {
+        res.divergence_epoch = epoch;
+        drivers[lo_scheme]->run().checker().note(
+            OracleKind::kDifferential,
+            strf("epoch %u: scheme %s delivered %" PRIu64
+                 " app bytes vs %" PRIu64 " for the best scheme "
+                 "(gap %" PRIu64 " > allowed %" PRIu64 ")",
+                 epoch, scheme_spec_name(res.schemes_run[lo_scheme]), lo, hi,
+                 gap, allowed));
+      }
     }
     if (last) break;
   }
@@ -261,10 +271,13 @@ DiffResult run_differential_soak(const Scenario& sc, const SoakOptions& opt,
                                       : res.per_scheme[i].epochs.back()
                                             .delivered_bytes;
         if (got != expect) {
-          if (res.divergence_epoch == 0) {
-            res.divergence_epoch = res.per_scheme[i].epochs.empty()
+          const std::uint32_t at = res.per_scheme[i].epochs.empty()
                                        ? 1
                                        : res.per_scheme[i].epochs.back().epoch;
+          if (res.divergence_epoch == 0) res.divergence_epoch = at;
+          if (res.disagreements.size() < DiffResult::kMaxDisagreements) {
+            res.disagreements.push_back(Disagreement{
+                at, scheme_spec_name(res.schemes_run[i]), got, expect});
           }
           res.report += strf(
               "[differential] at quiesce %s delivered %" PRIu64
@@ -311,6 +324,15 @@ bool SoakManifest::save(const std::string& path, std::string* err) const {
   out << "  \"status\": \"" << json_escape(status) << "\",\n";
   out << strf("  \"first_bad_epoch\": %u,\n", first_bad_epoch);
   out << "  \"report\": \"" << json_escape(report) << "\",\n";
+  out << "  \"disagreements\": [";
+  for (std::size_t i = 0; i < disagreements.size(); ++i) {
+    const Disagreement& d = disagreements[i];
+    out << (i > 0 ? "," : "")
+        << strf("\n    {\"epoch\": %u, \"scheme\": \"%s\", "
+                "\"delivered\": %" PRIu64 ", \"best\": %" PRIu64 "}",
+                d.epoch, json_escape(d.scheme).c_str(), d.delivered, d.best);
+  }
+  out << (disagreements.empty() ? "],\n" : "\n  ],\n");
   out << "  \"epochs\": [\n";
   for (std::size_t i = 0; i < epochs.size(); ++i) {
     const EpochRecord& e = epochs[i];
@@ -386,6 +408,17 @@ bool SoakManifest::load(const std::string& path, SoakManifest* out,
   m.first_bad_epoch =
       static_cast<std::uint32_t>(root.num_or("first_bad_epoch", 0));
   m.report = root.str_or("report", "");
+  if (root.get("disagreements").kind() ==
+      telemetry::JsonValue::Kind::kArray) {
+    for (const auto& d : root.get("disagreements").as_array()) {
+      Disagreement rec;
+      rec.epoch = static_cast<std::uint32_t>(d.num_or("epoch", 0));
+      rec.scheme = d.str_or("scheme", "");
+      rec.delivered = static_cast<std::uint64_t>(d.num_or("delivered", 0));
+      rec.best = static_cast<std::uint64_t>(d.num_or("best", 0));
+      m.disagreements.push_back(rec);
+    }
+  }
   if (root.get("epochs").kind() == telemetry::JsonValue::Kind::kArray) {
     for (const auto& e : root.get("epochs").as_array()) {
       EpochRecord rec;

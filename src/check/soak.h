@@ -90,6 +90,10 @@ struct DiffOptions {
   /// different transport/queue semantics, not just a different spraying
   /// policy, so byte-for-byte equality is not expected).
   std::vector<harness::Scheme> schemes;
+  /// Overrides `schemes` with every registry entry marked differential-safe
+  /// (SchemeRegistry::differential_schemes()) — the full pairwise lock-step
+  /// sweep; new schemes join it by registering, with no soak change.
+  bool all_schemes = false;
   /// Mid-run delivered-bytes divergence is flagged when
   /// max - min > max(min_gap_bytes, tolerance * max). Schemes legitimately
   /// differ mid-run (that is the paper's point); the tolerance only catches
@@ -98,12 +102,28 @@ struct DiffOptions {
   std::uint64_t min_gap_bytes = 1 << 20;
 };
 
+/// One cross-scheme disagreement observation: at `epoch`, `scheme` had
+/// delivered `delivered` application bytes against the best scheme's
+/// `best` (mid-run laggard flag or at-quiesce inequality).
+struct Disagreement {
+  std::uint32_t epoch = 0;
+  std::string scheme;
+  std::uint64_t delivered = 0;
+  std::uint64_t best = 0;
+};
+
 struct DiffResult {
+  /// Recording stops at this many disagreements (divergence repeats every
+  /// epoch once a scheme wedges; the first few localize it).
+  static constexpr std::size_t kMaxDisagreements = 32;
+
   /// Per-scheme soak results, aligned with `schemes_run`.
   std::vector<SoakResult> per_scheme;
   std::vector<harness::Scheme> schemes_run;
   /// First epoch where the cross-scheme oracle fired (0 = never).
   std::uint32_t divergence_epoch = 0;
+  /// Every flagged cross-scheme gap, in epoch order (bounded).
+  std::vector<Disagreement> disagreements;
   bool ok = true;
   std::string report;
 };
@@ -131,6 +151,8 @@ struct SoakManifest {
   std::string status = "running";
   std::uint32_t first_bad_epoch = 0;
   std::string report;  ///< Violation report of the finished run.
+  /// Cross-scheme disagreements of a differential soak (empty otherwise).
+  std::vector<Disagreement> disagreements;
 
   bool save(const std::string& path, std::string* err = nullptr) const;
   static bool load(const std::string& path, SoakManifest* out,

@@ -26,16 +26,22 @@ void Controller::build_trees() {
     gamma = std::max(gamma, fl.group + 1);
   }
   std::uint32_t id = 0;
-  for (net::SwitchId spine : topo_.spines()) {
+  // Mesh mode (no spine tier): every leaf doubles as a transit node, so the
+  // tree roots are the leaves themselves. A root is trivially connected to
+  // itself, hence the `leaf == root` escape — never taken on a 2-tier Clos.
+  const std::vector<net::SwitchId>& roots =
+      topo_.spines().empty() ? topo_.leaves() : topo_.spines();
+  for (net::SwitchId root : roots) {
     for (std::uint32_t g = 0; g < gamma; ++g) {
-      // A (spine, group) pair forms a spanning tree only if every leaf has
+      // A (root, group) pair forms a spanning tree only if every leaf has
       // that parallel link.
       const bool complete = std::all_of(
           topo_.leaves().begin(), topo_.leaves().end(),
           [&](net::SwitchId leaf) {
-            return leaf_uplink(leaf, spine, g) != net::kInvalidPort;
+            return leaf == root ||
+                   leaf_uplink(leaf, root, g) != net::kInvalidPort;
           });
-      if (complete) trees_.push_back(Tree{id++, spine, g});
+      if (complete) trees_.push_back(Tree{id++, root, g});
     }
   }
 }
@@ -85,7 +91,12 @@ void Controller::install_labels() {
         const net::MacAddr label = net::tunnel_mac(dst_leaf, t.id);
         for (net::SwitchId leaf : topo_.leaves()) {
           if (leaf == dst_leaf) continue;
-          const net::PortId up = leaf_uplink(leaf, t.spine, t.group);
+          net::PortId up = leaf_uplink(leaf, t.spine, t.group);
+          if (up == net::kInvalidPort && leaf == t.spine) {
+            // Mesh transit: this leaf is the tree's root, so the next hop
+            // is the direct link toward the destination leaf.
+            up = leaf_uplink(leaf, dst_leaf, t.group);
+          }
           if (up != net::kInvalidPort) {
             topo_.get_switch(leaf).install_l2(label, up);
           }
@@ -116,7 +127,12 @@ void Controller::install_labels() {
       // Other leaves: forward up into the tree's spine.
       for (net::SwitchId leaf : topo_.leaves()) {
         if (leaf == at.edge_switch) continue;
-        const net::PortId up = leaf_uplink(leaf, t.spine, t.group);
+        net::PortId up = leaf_uplink(leaf, t.spine, t.group);
+        if (up == net::kInvalidPort && leaf == t.spine) {
+          // Mesh transit: this leaf is the tree's root; forward on the
+          // direct link toward the destination leaf (the tree's 2nd hop).
+          up = leaf_uplink(leaf, at.edge_switch, t.group);
+        }
         if (up != net::kInvalidPort) {
           topo_.get_switch(leaf).install_l2(label, up);
         }
@@ -160,12 +176,17 @@ void Controller::install_real_routes() {
           topo_.get_switch(spine).install_ecmp_group(h, std::move(members));
         }
       }
-      // Other leaves: ECMP over all uplinks.
+      // Other leaves: ECMP over all uplinks. On a mesh only the direct
+      // ports toward the destination leaf qualify — a detour leaf has no L2
+      // entry for the real MAC and would re-ECMP the packet forever.
+      const bool mesh = topo_.spines().empty();
       for (net::SwitchId leaf : topo_.leaves()) {
         if (leaf == at.edge_switch) continue;
         std::vector<net::PortId> members;
         for (const net::FabricLink& fl : topo_.fabric_links()) {
-          if (fl.leaf == leaf) members.push_back(fl.leaf_port);
+          if (fl.leaf != leaf) continue;
+          if (mesh && fl.spine != at.edge_switch) continue;
+          members.push_back(fl.leaf_port);
         }
         if (!members.empty()) {
           topo_.get_switch(leaf).install_ecmp_group(h, std::move(members));

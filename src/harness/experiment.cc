@@ -3,25 +3,12 @@
 #include <algorithm>
 #include <string>
 
-#include "lb/ecmp_lb.h"
-#include "lb/flowlet_lb.h"
-#include "lb/per_packet_lb.h"
+#include "lb/registry.h"
 #include "telemetry/export.h"
 
 namespace presto::harness {
 
-const char* scheme_name(Scheme s) {
-  switch (s) {
-    case Scheme::kEcmp: return "ECMP";
-    case Scheme::kMptcp: return "MPTCP";
-    case Scheme::kPresto: return "Presto";
-    case Scheme::kOptimal: return "Optimal";
-    case Scheme::kFlowlet: return "Flowlet";
-    case Scheme::kPrestoEcmp: return "Presto+ECMP";
-    case Scheme::kPerPacket: return "PerPacket";
-  }
-  return "?";
-}
+const char* scheme_name(Scheme s) { return lb::scheme_display_name(s); }
 
 Experiment::Experiment(ExperimentConfig cfg)
     : cfg_(std::move(cfg)), rng_(cfg_.seed) {
@@ -39,15 +26,40 @@ Experiment::Experiment(ExperimentConfig cfg)
   params.fabric_link = link;
   params.gamma = cfg_.gamma;
 
-  if (cfg_.scheme == Scheme::kOptimal) {
+  if (lb::SchemeRegistry::instance().info(cfg_.scheme).single_switch) {
     topo_ = net::make_single_switch(
         sim_, cfg_.leaves * cfg_.hosts_per_leaf + cfg_.remote_users_per_spine *
                                                       cfg_.spines,
         params);
   } else {
-    topo_ = net::make_clos(sim_, cfg_.spines, cfg_.leaves,
-                           cfg_.hosts_per_leaf, params);
-    // North-south remote users hang off the spines over WAN-limited links.
+    switch (cfg_.topology) {
+      case net::TopologyKind::kClos:
+        topo_ = net::make_clos(sim_, cfg_.spines, cfg_.leaves,
+                               cfg_.hosts_per_leaf, params);
+        break;
+      case net::TopologyKind::kAsymClos:
+        params.spine_rate_scale.assign(cfg_.spines, 1.0);
+        for (std::uint32_t i = 0;
+             i < std::min(cfg_.asym_slow_spines, cfg_.spines); ++i) {
+          params.spine_rate_scale[i] = cfg_.asym_rate_scale;
+        }
+        topo_ = net::make_clos(sim_, cfg_.spines, cfg_.leaves,
+                               cfg_.hosts_per_leaf, params);
+        break;
+      case net::TopologyKind::kOversubClos:
+        params.fabric_link.rate_bps = cfg_.link_rate_bps *
+                                      cfg_.hosts_per_leaf /
+                                      (cfg_.spines * cfg_.oversub_factor);
+        topo_ = net::make_clos(sim_, cfg_.spines, cfg_.leaves,
+                               cfg_.hosts_per_leaf, params);
+        break;
+      case net::TopologyKind::kLeafMesh:
+        topo_ = net::make_leaf_mesh(sim_, cfg_.leaves, cfg_.hosts_per_leaf,
+                                    params);
+        break;
+    }
+    // North-south remote users hang off the spines over WAN-limited links
+    // (no spine tier on a mesh: the loop body never runs there).
     net::LinkConfig wan = link;
     wan.rate_bps = cfg_.remote_link_rate_bps;
     for (net::SwitchId spine : topo_->spines()) {
@@ -74,7 +86,8 @@ Experiment::Experiment(ExperimentConfig cfg)
     fabric_plane_->set_controller(ctl_.get());
     fabric_plane_->start();
   }
-  if (!cfg_.fault_plan.empty() && cfg_.scheme != Scheme::kOptimal) {
+  if (!cfg_.fault_plan.empty() &&
+      !lb::SchemeRegistry::instance().info(cfg_.scheme).single_switch) {
     // Armed before the workload runs: every fault lands on the sim clock at
     // construction time, off a dedicated RNG stream.
     const std::uint64_t fs = cfg_.fault_seed != 0
@@ -105,9 +118,12 @@ void Experiment::start_flight_recorder() {
     }
   }
   // In-flight bytes per shadow-MAC label (spanning tree); all ports feed
-  // the session-wide table, so each series is a fabric-wide sum.
-  const std::uint32_t trees =
-      std::min<std::uint32_t>(cfg_.spines, telemetry::LabelFlight::kMaxTrees);
+  // the session-wide table, so each series is a fabric-wide sum. The count
+  // comes from the installed trees (== spines on a gamma-1 Clos, but mesh
+  // and multi-gamma fabrics install a different number).
+  const std::uint32_t trees = std::min<std::uint32_t>(
+      static_cast<std::uint32_t>(ctl_->trees().size()),
+      telemetry::LabelFlight::kMaxTrees);
   telemetry::LabelFlight& flight = telem_->label_flight();
   for (std::uint32_t t = 0; t < trees; ++t) {
     sampler.add_series("net.label.t" + std::to_string(t) + ".inflight_bytes",
@@ -181,18 +197,13 @@ void Experiment::build_hosts() {
     hc.uplink.queue_bytes =
         std::max<std::uint64_t>(hc.uplink.queue_bytes,
                                 cfg_.host_tx_queue_bytes);
-    const bool server = h < num_servers || cfg_.scheme == Scheme::kOptimal;
+    const lb::SchemeInfo& scheme_info =
+        lb::SchemeRegistry::instance().info(cfg_.scheme);
+    const bool server = h < num_servers || scheme_info.single_switch;
     if (!cfg_.force_gro) {
-      switch (cfg_.scheme) {
-        case Scheme::kPresto:
-        case Scheme::kPrestoEcmp:
-        case Scheme::kPerPacket:
-          hc.gro = host::GroKind::kPresto;
-          break;
-        default:
-          hc.gro = host::GroKind::kOfficial;
-          break;
-      }
+      hc.gro = scheme_info.rx == lb::RxOffload::kPrestoGro
+                   ? host::GroKind::kPresto
+                   : host::GroKind::kOfficial;
     }
     auto host_ptr = std::make_unique<host::Host>(sim_, h, hc);
     topo_->connect_host(h, host_ptr.get(), host_ptr->uplink());
@@ -215,7 +226,8 @@ void Experiment::build_hosts() {
   // In Optimal mode there are no "extra" hosts marked remote, but Table 2
   // still needs remote endpoints — the last remote_users_per_spine * spines
   // hosts play that role.
-  if (cfg_.scheme == Scheme::kOptimal && cfg_.remote_users_per_spine > 0) {
+  if (lb::SchemeRegistry::instance().info(cfg_.scheme).single_switch &&
+      cfg_.remote_users_per_spine > 0) {
     servers_.resize(num_servers);
     remotes_.clear();
     for (net::HostId h = num_servers; h < topo_->host_count(); ++h) {
@@ -226,49 +238,33 @@ void Experiment::build_hosts() {
 }
 
 std::unique_ptr<lb::SenderLb> Experiment::make_lb(net::HostId h) {
-  core::LabelMap& map = ctl_->label_map(h);
-  const std::uint64_t seed = net::mix64(cfg_.seed ^ (0x5151ULL + h));
-  switch (cfg_.scheme) {
-    case Scheme::kPresto: {
-      core::FlowcellConfig fc;
-      fc.seed = seed;
-      fc.threshold_bytes = cfg_.flowcell_bytes;
-      fc.random_selection = cfg_.flowcell_random_selection;
-      fc.path_suspicion = cfg_.edge_suspicion;
-      fc.suspicion_hold = cfg_.suspicion_hold;
-      auto engine = std::make_unique<core::FlowcellEngine>(map, fc);
-      engine->set_clock(&sim_);
-      if (telem_ != nullptr) {
-        engine->attach_telemetry(telem_->flowcell_probes(), &sim_);
-        flowcell_engines_.push_back(engine.get());
-      }
-      return engine;
+  lb::LbContext ctx;
+  ctx.sim = &sim_;
+  ctx.labels = &ctl_->label_map(h);
+  ctx.host = h;
+  ctx.seed = net::mix64(cfg_.seed ^ (0x5151ULL + h));
+  ctx.tuning.flowlet_gap = cfg_.flowlet_gap;
+  ctx.tuning.flowcell_bytes = cfg_.flowcell_bytes;
+  ctx.tuning.flowcell_random_selection = cfg_.flowcell_random_selection;
+  ctx.tuning.path_suspicion = cfg_.edge_suspicion;
+  ctx.tuning.suspicion_hold = cfg_.suspicion_hold;
+  ctx.tuning.flowdyn_gap_factor = cfg_.flowdyn_gap_factor;
+  ctx.tuning.flowdyn_min_gap = cfg_.flowdyn_min_gap;
+  ctx.tuning.flowdyn_max_gap = cfg_.flowdyn_max_gap;
+  ctx.tuning.diffflow_threshold_bytes = cfg_.diffflow_threshold_bytes;
+  ctx.tuning.sprinklers_min_cells = cfg_.sprinklers_min_cells;
+  ctx.tuning.sprinklers_max_cells = cfg_.sprinklers_max_cells;
+  std::unique_ptr<lb::SenderLb> policy = lb::make_scheme_lb(cfg_.scheme, ctx);
+  // Flowcell engines (presto / presto_ecmp) additionally feed the
+  // experiment's telemetry session; the registry stays harness-agnostic, so
+  // the attachment happens here.
+  if (telem_ != nullptr) {
+    if (auto* engine = dynamic_cast<core::FlowcellEngine*>(policy.get())) {
+      engine->attach_telemetry(telem_->flowcell_probes(), &sim_);
+      flowcell_engines_.push_back(engine);
     }
-    case Scheme::kPrestoEcmp: {
-      core::FlowcellConfig fc;
-      fc.seed = seed;
-      fc.threshold_bytes = cfg_.flowcell_bytes;
-      fc.per_hop_ecmp = true;
-      auto engine = std::make_unique<core::FlowcellEngine>(map, fc);
-      engine->set_clock(&sim_);
-      if (telem_ != nullptr) {
-        engine->attach_telemetry(telem_->flowcell_probes(), &sim_);
-        flowcell_engines_.push_back(engine.get());
-      }
-      return engine;
-    }
-    case Scheme::kEcmp:
-    case Scheme::kMptcp:
-      return std::make_unique<lb::EcmpLb>(map, seed);
-    case Scheme::kFlowlet:
-      return std::make_unique<lb::FlowletLb>(sim_, map, cfg_.flowlet_gap,
-                                             seed);
-    case Scheme::kPerPacket:
-      return std::make_unique<lb::PerPacketLb>(map, seed);
-    case Scheme::kOptimal:
-      return nullptr;  // single switch: plain real-MAC forwarding
   }
-  return nullptr;
+  return policy;
 }
 
 net::FlowKey Experiment::alloc_flow(net::HostId src, net::HostId dst) {
@@ -284,7 +280,8 @@ net::FlowKey Experiment::alloc_flow(net::HostId src, net::HostId dst) {
 std::unique_ptr<workload::ByteChannel> Experiment::open_channel(
     net::HostId src, net::HostId dst, bool allow_mptcp) {
   const net::FlowKey flow = alloc_flow(src, dst);
-  if (cfg_.scheme == Scheme::kMptcp && allow_mptcp) {
+  if (lb::SchemeRegistry::instance().info(cfg_.scheme).uses_mptcp_channel &&
+      allow_mptcp) {
     return std::make_unique<workload::MptcpByteChannel>(
         sim_, host(src), host(dst), flow, cfg_.mptcp);
   }

@@ -13,6 +13,7 @@
 #include "fault/fault_injector.h"
 #include "host/host.h"
 #include "lb/mptcp.h"
+#include "lb/registry.h"
 #include "net/topology.h"
 #include "sim/rng.h"
 #include "sim/simulation.h"
@@ -23,27 +24,32 @@
 
 namespace presto::harness {
 
-/// Load-balancing scheme under test (§4 "Performance Evaluation").
-enum class Scheme {
-  kEcmp,        ///< Per-flow random end-to-end path.
-  kMptcp,       ///< 8 coupled subflows over ECMP paths.
-  kPresto,      ///< Flowcells + shadow-MAC round robin + Presto GRO.
-  kOptimal,     ///< Single non-blocking switch.
-  kFlowlet,     ///< Flowlet switching (config.flowlet_gap) + stock GRO.
-  kPrestoEcmp,  ///< Flowcells hashed per hop (Figure 14 variant).
-  kPerPacket,   ///< Per-packet spraying (granularity ablation).
-};
+/// Load-balancing scheme under test (§4 "Performance Evaluation"). The enum
+/// lives in lb::Scheme; the scheme registry (lb/registry.h) is the single
+/// source of truth for names, capabilities, and factories.
+using Scheme = lb::Scheme;
 
+/// Display name ("Presto") — delegates to the scheme registry.
 const char* scheme_name(Scheme s);
 
 struct ExperimentConfig {
   Scheme scheme = Scheme::kPresto;
 
   // Topology (defaults = the paper's Figure 3 testbed).
+  /// Fabric shape. kOptimal overrides it with the single switch; kLeafMesh
+  /// ignores `spines` (leaves mesh directly) and skips remote users.
+  net::TopologyKind topology = net::TopologyKind::kClos;
   std::uint32_t spines = 4;
   std::uint32_t leaves = 4;
   std::uint32_t hosts_per_leaf = 4;
   std::uint32_t gamma = 1;
+  /// kAsymClos: rate multiplier on the fabric links of the first
+  /// `asym_slow_spines` spines (the asymmetric-link-speed fabric).
+  double asym_rate_scale = 0.4;
+  std::uint32_t asym_slow_spines = 1;
+  /// kOversubClos: 3-tier pod-uplink oversubscription ratio folded into the
+  /// leaf-spine rate: fabric = link_rate * hosts_per_leaf / (spines * F).
+  double oversub_factor = 4.0;
   double link_rate_bps = 10e9;
   sim::Time link_propagation = 500 * sim::kNanosecond;
   std::uint64_t switch_buffer_bytes = 400 * 1024;
@@ -62,6 +68,18 @@ struct ExperimentConfig {
   std::uint32_t flowcell_bytes = net::kMaxTsoBytes;
   /// Ablation: random instead of round-robin label selection per flowcell.
   bool flowcell_random_selection = false;
+  /// FlowDyn: gap = clamp(gap_factor * srtt_ewma, min, max); `flowlet_gap`
+  /// applies until the first RTT sample.
+  double flowdyn_gap_factor = 0.5;
+  sim::Time flowdyn_min_gap = 50 * sim::kMicrosecond;
+  sim::Time flowdyn_max_gap = 5 * sim::kMillisecond;
+  /// DiffFlow: flows beyond this many carried bytes are sprayed as
+  /// flowcells; below it they keep their hashed ECMP path.
+  std::uint64_t diffflow_threshold_bytes = 100 * 1024;
+  /// Sprinklers: hashed stripe sizes span the powers of two in
+  /// [min_cells, max_cells] flowcells.
+  std::uint32_t sprinklers_min_cells = 1;
+  std::uint32_t sprinklers_max_cells = 8;
 
   // Host template (gro is overridden per scheme unless `force_gro` is set).
   host::HostConfig host;

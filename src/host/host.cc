@@ -52,6 +52,12 @@ tcp::TcpSender& Host::create_sender(const net::FlowKey& flow,
       if (lb_ != nullptr) lb_->on_recovery_signal(f);
     };
   }
+  if (!cfg.on_ack_progress) {
+    cfg.on_ack_progress = [this](const net::FlowKey& f, std::uint64_t acked,
+                                 sim::Time srtt) {
+      if (lb_ != nullptr) lb_->on_ack_progress(f, acked, srtt);
+    };
+  }
   auto sender = std::make_unique<tcp::TcpSender>(
       sim_, flow, cfg,
       [this](net::Packet&& seg) { egress_segment(std::move(seg)); });

@@ -1,0 +1,112 @@
+// FlowDyn-style flowlet switching with dynamic gap detection (PAPERS.md:
+// "FlowDyn", arXiv 1910.03324).
+//
+// Classic flowlet switching (FlowletLb) uses one fixed inactivity timer;
+// FlowDyn's observation is that the safe gap is a function of the path RTT,
+// which varies per flow and over time. Here each flow keeps an EWMA of the
+// smoothed RTT reported by its own TCP stack (via the host's on_ack_progress
+// wiring) and ends a flowlet when the inter-segment gap exceeds
+// clamp(gap_factor * rtt_ewma, min_gap, max_gap); until the first RTT sample
+// arrives the configured fixed gap applies. Receivers use stock GRO.
+#pragma once
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "core/label_map.h"
+#include "lb/sender_lb.h"
+#include "net/flow_key.h"
+#include "sim/simulation.h"
+
+namespace presto::lb {
+
+class FlowDynLb final : public SenderLb {
+ public:
+  struct Config {
+    sim::Time default_gap = 500 * sim::kMicrosecond;  ///< Pre-RTT-sample gap.
+    double gap_factor = 0.5;
+    sim::Time min_gap = 50 * sim::kMicrosecond;
+    sim::Time max_gap = 5 * sim::kMillisecond;
+  };
+
+  FlowDynLb(sim::Simulation& sim, const core::LabelMap& labels, Config cfg,
+            std::uint64_t seed)
+      : sim_(sim), labels_(labels), cfg_(cfg), seed_(seed) {}
+
+  void on_segment(net::Packet& seg) override {
+    const auto* sched = labels_.schedule(seg.dst_host);
+    if (sched == nullptr) return;
+    FlowState& st = flows_[seg.flow];
+    const sim::Time now = sim_.now();
+    if (!st.initialized) {
+      st.initialized = true;
+      st.cursor = static_cast<std::size_t>(
+          net::mix64(seg.flow.hash() ^ seed_) % sched->size());
+      ++st.flowlet_id;
+    } else if (now - st.last_segment > gap_for(st)) {
+      st.cursor = st.cursor + 1;  // new flowlet -> next path
+      ++st.flowlet_id;
+    }
+    st.last_segment = now;
+    seg.dst_mac = (*sched)[st.cursor % sched->size()];
+    seg.flowcell_id = st.flowlet_id;
+  }
+
+  void on_ack_progress(const net::FlowKey& flow, std::uint64_t acked,
+                       sim::Time srtt) override {
+    (void)acked;
+    if (srtt <= 0) return;
+    FlowState& st = flows_[flow];
+    // Second-level EWMA over TCP's already-smoothed estimate: the gap should
+    // track the path, not chase one inflated recovery sample.
+    st.rtt_ewma = st.rtt_ewma == 0 ? srtt : (3 * st.rtt_ewma + srtt) / 4;
+  }
+
+  /// Gap currently applied to `flow` (diagnostics / tests).
+  sim::Time current_gap(const net::FlowKey& flow) const {
+    auto it = flows_.find(flow);
+    return it == flows_.end() ? cfg_.default_gap : gap_for(it->second);
+  }
+
+  /// Flowlets observed so far for `flow` (diagnostics / tests).
+  std::uint64_t flowlet_count(const net::FlowKey& flow) const {
+    auto it = flows_.find(flow);
+    return it == flows_.end() ? 0 : it->second.flowlet_id;
+  }
+
+  void digest_state(sim::Digest& d) const override {
+    for (const auto& [flow, st] : flows_) {
+      sim::Digest sub;
+      sub.mix(flow.hash());
+      sub.mix(st.cursor);
+      sub.mix(st.flowlet_id);
+      sub.mix(static_cast<std::uint64_t>(st.last_segment));
+      sub.mix(static_cast<std::uint64_t>(st.rtt_ewma));
+      d.mix_unordered(sub.value());
+    }
+  }
+
+ private:
+  struct FlowState {
+    bool initialized = false;
+    sim::Time last_segment = 0;
+    std::size_t cursor = 0;
+    std::uint64_t flowlet_id = 0;
+    sim::Time rtt_ewma = 0;  ///< 0 until the first RTT sample.
+  };
+
+  sim::Time gap_for(const FlowState& st) const {
+    if (st.rtt_ewma == 0) return cfg_.default_gap;
+    const auto scaled = static_cast<sim::Time>(
+        cfg_.gap_factor * static_cast<double>(st.rtt_ewma));
+    return std::clamp(scaled, cfg_.min_gap, cfg_.max_gap);
+  }
+
+  sim::Simulation& sim_;
+  const core::LabelMap& labels_;
+  Config cfg_;
+  std::uint64_t seed_;
+  std::unordered_map<net::FlowKey, FlowState, net::FlowKeyHash> flows_;
+};
+
+}  // namespace presto::lb

@@ -42,6 +42,17 @@ class SenderLb {
   /// path-aware policies exonerate the paths they blamed.
   virtual void on_recovery_signal(const net::FlowKey& flow) { (void)flow; }
 
+  /// Delivery-progress signal from the host's TCP stack: `flow`'s
+  /// cumulative ACK advanced to `acked` with smoothed RTT `srtt`.
+  /// RTT-adaptive policies (FlowDyn's dynamic gap) and in-flight-gated
+  /// policies (Sprinklers' rotation) consume it; others ignore it.
+  virtual void on_ack_progress(const net::FlowKey& flow, std::uint64_t acked,
+                               sim::Time srtt) {
+    (void)flow;
+    (void)acked;
+    (void)srtt;
+  }
+
   /// Folds policy-internal state (per-flow cursors, quarantine timers) into
   /// a checkpoint state digest (src/check/soak). Stateless policies
   /// contribute nothing.

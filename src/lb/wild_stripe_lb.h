@@ -1,0 +1,67 @@
+// Deliberately broken striping: Sprinklers without the ACK gate.
+//
+// Rotates the label every `stripe_bytes` of payload with no in-flight
+// check, so consecutive stripes of one flow ride different paths
+// concurrently and overtake each other whenever path latencies diverge
+// (asymmetric link speeds make this near-certain). Registered hidden and
+// *claiming* reordering_free, it exists solely so the kOrdering oracle's
+// planted-violation test can prove the invariant actually fires; it must
+// never appear in sweeps, CI matrices, or fuzz generation.
+#pragma once
+
+#include <unordered_map>
+
+#include "core/label_map.h"
+#include "lb/sender_lb.h"
+#include "net/flow_key.h"
+
+namespace presto::lb {
+
+class WildStripeLb final : public SenderLb {
+ public:
+  struct Config {
+    std::uint64_t stripe_bytes = 8 * 1024;  ///< Tiny: rotates every segment.
+  };
+
+  WildStripeLb(const core::LabelMap& labels, Config cfg, std::uint64_t seed)
+      : labels_(labels), cfg_(cfg), seed_(seed) {}
+
+  void on_segment(net::Packet& seg) override {
+    const auto* sched = labels_.schedule(seg.dst_host);
+    if (sched == nullptr) return;
+    FlowState& st = flows_[seg.flow];
+    if (!st.initialized) {
+      st.initialized = true;
+      st.base = static_cast<std::size_t>(
+          net::mix64(seg.flow.hash() ^ seed_) % sched->size());
+    }
+    const std::uint64_t stripe = st.bytes / cfg_.stripe_bytes;
+    st.bytes += seg.payload;
+    seg.dst_mac = (*sched)[(st.base + stripe) % sched->size()];
+    seg.flowcell_id = stripe + 1;
+  }
+
+  void digest_state(sim::Digest& d) const override {
+    for (const auto& [flow, st] : flows_) {
+      sim::Digest sub;
+      sub.mix(flow.hash());
+      sub.mix(st.base);
+      sub.mix(st.bytes);
+      d.mix_unordered(sub.value());
+    }
+  }
+
+ private:
+  struct FlowState {
+    bool initialized = false;
+    std::size_t base = 0;
+    std::uint64_t bytes = 0;
+  };
+
+  const core::LabelMap& labels_;
+  Config cfg_;
+  std::uint64_t seed_;
+  std::unordered_map<net::FlowKey, FlowState, net::FlowKeyHash> flows_;
+};
+
+}  // namespace presto::lb

@@ -4,6 +4,28 @@
 
 namespace presto::net {
 
+const char* topology_kind_id(TopologyKind k) {
+  switch (k) {
+    case TopologyKind::kClos: return "clos";
+    case TopologyKind::kAsymClos: return "asym";
+    case TopologyKind::kOversubClos: return "oversub";
+    case TopologyKind::kLeafMesh: return "mesh";
+  }
+  return "?";
+}
+
+bool parse_topology_kind(std::string_view name, TopologyKind* out) {
+  for (TopologyKind k :
+       {TopologyKind::kClos, TopologyKind::kAsymClos,
+        TopologyKind::kOversubClos, TopologyKind::kLeafMesh}) {
+    if (name == topology_kind_id(k)) {
+      *out = k;
+      return true;
+    }
+  }
+  return false;
+}
+
 SwitchId Topology::add_switch(const std::string& name, bool is_leaf) {
   const auto id = static_cast<SwitchId>(switches_.size());
   switches_.push_back(std::make_unique<Switch>(sim_, id, name));
@@ -21,6 +43,20 @@ void Topology::add_fabric_links(SwitchId leaf, SwitchId spine,
     l.port(lp).connect(&s, sp);
     s.port(sp).connect(&l, lp);
     fabric_links_.push_back(FabricLink{leaf, lp, spine, sp, g});
+  }
+}
+
+void Topology::add_mesh_links(SwitchId a, SwitchId b, std::uint32_t gamma,
+                              const LinkConfig& cfg) {
+  Switch& sa = get_switch(a);
+  Switch& sb = get_switch(b);
+  for (std::uint32_t g = 0; g < gamma; ++g) {
+    const PortId pa = sa.add_port(cfg);
+    const PortId pb = sb.add_port(cfg);
+    sa.port(pa).connect(&sb, pb);
+    sb.port(pb).connect(&sa, pa);
+    fabric_links_.push_back(FabricLink{a, pa, b, pb, g});
+    fabric_links_.push_back(FabricLink{b, pb, a, pa, g});
   }
 }
 
@@ -106,11 +142,42 @@ std::unique_ptr<Topology> make_clos(sim::Simulation& sim,
   for (std::uint32_t i = 0; i < num_leaves; ++i) {
     const SwitchId leaf =
         topo->add_switch("L" + std::to_string(i + 1), true);
-    for (SwitchId spine : spines) {
-      topo->add_fabric_links(leaf, spine, params.gamma, params.fabric_link);
+    for (std::size_t si = 0; si < spines.size(); ++si) {
+      LinkConfig fabric = params.fabric_link;
+      if (si < params.spine_rate_scale.size()) {
+        fabric.rate_bps *= params.spine_rate_scale[si];
+      }
+      topo->add_fabric_links(leaf, spines[si], params.gamma, fabric);
     }
     for (std::uint32_t h = 0; h < hosts_per_leaf; ++h) {
       topo->add_host(leaf, params.host_link);
+    }
+  }
+  return topo;
+}
+
+std::unique_ptr<Topology> make_leaf_mesh(sim::Simulation& sim,
+                                         std::uint32_t num_leaves,
+                                         std::uint32_t hosts_per_leaf,
+                                         const TopoParams& params) {
+  if (num_leaves < 2) {
+    throw std::invalid_argument("leaf mesh requires >=2 leaves");
+  }
+  auto topo = std::make_unique<Topology>(sim);
+  std::vector<SwitchId> leaves;
+  leaves.reserve(num_leaves);
+  for (std::uint32_t i = 0; i < num_leaves; ++i) {
+    leaves.push_back(topo->add_switch("M" + std::to_string(i + 1), true));
+  }
+  // Hosts are added leaf-major so HostId / hosts_per_leaf matches the
+  // logical rack, exactly like make_clos.
+  for (std::uint32_t i = 0; i < num_leaves; ++i) {
+    for (std::uint32_t j = i + 1; j < num_leaves; ++j) {
+      topo->add_mesh_links(leaves[i], leaves[j], params.gamma,
+                           params.fabric_link);
+    }
+    for (std::uint32_t h = 0; h < hosts_per_leaf; ++h) {
+      topo->add_host(leaves[i], params.host_link);
     }
   }
   return topo;

@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "net/port.h"
@@ -20,6 +21,24 @@
 #include "sim/simulation.h"
 
 namespace presto::net {
+
+/// Fabric shape selector (ISSUE 9): the non-Clos kinds break Presto's
+/// symmetric-equal-path assumption in three distinct ways.
+enum class TopologyKind {
+  kClos,        ///< Symmetric 2-tier Clos (the paper's testbed).
+  kAsymClos,    ///< Clos with slowed-down spines (asymmetric link speeds).
+  kOversubClos, ///< Clos with the 3-tier pod-uplink oversubscription ratio
+                ///< folded into the leaf-spine link rate.
+  kLeafMesh,    ///< Low-diameter full mesh over leaves (no spine tier);
+                ///< direct 1-hop trees coexist with 2-hop transit trees.
+};
+
+/// Stable spec token for a topology kind ("clos", "asym", "oversub",
+/// "mesh") — scenario specs, CLI flags, manifest JSON.
+const char* topology_kind_id(TopologyKind k);
+/// Parses a spec token; returns false (leaving `*out` untouched) on an
+/// unknown name.
+bool parse_topology_kind(std::string_view name, TopologyKind* out);
 
 /// Where a host plugs into the fabric.
 struct HostAttachment {
@@ -50,6 +69,14 @@ class Topology {
   /// Wires `gamma` parallel bidirectional links between a leaf and a spine.
   void add_fabric_links(SwitchId leaf, SwitchId spine, std::uint32_t gamma,
                         const LinkConfig& cfg);
+
+  /// Wires `gamma` parallel bidirectional links between two leaves of a
+  /// mesh, recording *both* orientations in `fabric_links()` (same ports,
+  /// mirrored (leaf, spine) roles) so controller/fault lookups that scan by
+  /// `fl.leaf`/`fl.spine` see the link from either side. Port set_down is
+  /// idempotent, so double-visiting a mirrored record is harmless.
+  void add_mesh_links(SwitchId a, SwitchId b, std::uint32_t gamma,
+                      const LinkConfig& cfg);
 
   /// Reserves a host slot attached to `edge` (port allocated now; the Host
   /// object is connected later). Returns the new HostId (dense, 0-based).
@@ -108,6 +135,11 @@ struct TopoParams {
   LinkConfig host_link;
   LinkConfig fabric_link;
   std::uint32_t gamma = 1;  ///< Parallel links per (leaf, spine) pair.
+  /// Per-spine rate multiplier on `fabric_link.rate_bps` (indexed by spine
+  /// creation order; spines beyond the vector keep 1.0). Non-uniform values
+  /// build the asymmetric-link-speed Clos where equal-spray assumptions
+  /// break (make_clos only).
+  std::vector<double> spine_rate_scale;
 };
 
 /// 2-tier Clos: `num_spines` x `num_leaves`, `hosts_per_leaf` hosts each.
@@ -121,5 +153,14 @@ std::unique_ptr<Topology> make_clos(sim::Simulation& sim,
 std::unique_ptr<Topology> make_single_switch(sim::Simulation& sim,
                                              std::uint32_t num_hosts,
                                              const TopoParams& params = {});
+
+/// Low-diameter leaf mesh: `num_leaves` edge switches fully meshed with
+/// `gamma` parallel links per pair and no spine tier. Every leaf doubles as
+/// a transit node, so leaf-to-leaf paths are 1 hop (direct) or 2 hops
+/// (through a transit leaf) — unequal path lengths by construction.
+std::unique_ptr<Topology> make_leaf_mesh(sim::Simulation& sim,
+                                         std::uint32_t num_leaves,
+                                         std::uint32_t hosts_per_leaf,
+                                         const TopoParams& params = {});
 
 }  // namespace presto::net

@@ -173,6 +173,7 @@ void TcpSender::on_ack_packet(const net::Packet& ack) {
       ++rto_generation_;
     }
     if (on_acked_) on_acked_(snd_una_);
+    if (cfg_.on_ack_progress) cfg_.on_ack_progress(flow_, snd_una_, srtt_);
   } else if (snd_nxt_ > snd_una_) {
     ++dupacks_;
     ++stats_.dup_acks;

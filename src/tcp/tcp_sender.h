@@ -50,6 +50,14 @@ struct TcpConfig {
   /// Fires when a recovery episode is undone as spurious (DSACK evidence);
   /// lets path-aware policies exonerate the paths they blamed.
   std::function<void(const net::FlowKey&)> on_spurious_recovery;
+  /// Fires whenever the cumulative ACK advances, carrying the new snd_una
+  /// and the smoothed RTT estimate. The host forwards it to the vSwitch LB
+  /// policy so RTT-adaptive schemes (FlowDyn's dynamic flowlet gap) and
+  /// in-flight-gated schemes (Sprinklers' stripe rotation) can observe
+  /// delivery progress without hooking TCP internals.
+  std::function<void(const net::FlowKey&, std::uint64_t snd_una,
+                     sim::Time srtt)>
+      on_ack_progress;
 };
 
 /// Counters exposed for tests and experiment reporting.

@@ -104,8 +104,60 @@ TEST(CheckScenario, ParseRejectsGarbage) {
   Scenario out;
   std::string err;
   EXPECT_FALSE(Scenario::parse("seed=1 scheme=warp", &out, &err));
+  EXPECT_FALSE(Scenario::parse("seed=1 topo=torus", &out, &err));
   EXPECT_FALSE(Scenario::parse("flows=9-9:100", &out, &err));
   EXPECT_FALSE(Scenario::parse("seed=", &out, &err));
+}
+
+TEST(CheckScenario, TopoAndRivalSchemesRoundTripThroughTheSpec) {
+  Scenario sc;
+  sc.seed = 21;
+  sc.scheme = harness::Scheme::kSprinklers;
+  sc.topo = net::TopologyKind::kAsymClos;
+  sc.flows = {{0, 2, 500'000}};
+  const std::string spec = sc.to_string();
+  EXPECT_NE(spec.find("scheme=sprinklers"), std::string::npos) << spec;
+  EXPECT_NE(spec.find("topo=asym"), std::string::npos) << spec;
+
+  Scenario back;
+  std::string err;
+  ASSERT_TRUE(Scenario::parse(spec, &back, &err)) << err;
+  EXPECT_EQ(back.scheme, harness::Scheme::kSprinklers);
+  EXPECT_EQ(back.topo, net::TopologyKind::kAsymClos);
+  EXPECT_EQ(back.to_string(), spec);
+
+  // Clos specs omit the topo key entirely, so pre-registry reproducer
+  // lines keep replaying verbatim.
+  sc.topo = net::TopologyKind::kClos;
+  EXPECT_EQ(sc.to_string().find("topo="), std::string::npos);
+}
+
+TEST(CheckScenario, GeneratorDrawsRivalSchemesAndTopologies) {
+  // The fuzzer's scheme/topology coverage: within a modest seed range every
+  // rival scheme and every non-Clos topology kind must appear at least once
+  // (hidden schemes never).
+  bool flowdyn = false, diffflow = false, sprinklers = false;
+  bool asym = false, oversub = false, mesh = false;
+  for (std::uint64_t seed = 0; seed < 128; ++seed) {
+    const Scenario sc = Scenario::generate(seed);
+    EXPECT_NE(sc.scheme, harness::Scheme::kWildStripe) << "seed " << seed;
+    flowdyn = flowdyn || sc.scheme == harness::Scheme::kFlowDyn;
+    diffflow = diffflow || sc.scheme == harness::Scheme::kDiffFlow;
+    sprinklers = sprinklers || sc.scheme == harness::Scheme::kSprinklers;
+    asym = asym || sc.topo == net::TopologyKind::kAsymClos;
+    oversub = oversub || sc.topo == net::TopologyKind::kOversubClos;
+    mesh = mesh || sc.topo == net::TopologyKind::kLeafMesh;
+    if (sc.topo == net::TopologyKind::kLeafMesh) {
+      // Fault plans use Clos switch numbering; the mesh generates without.
+      EXPECT_TRUE(sc.fault_units.empty()) << "seed " << seed;
+    }
+  }
+  EXPECT_TRUE(flowdyn);
+  EXPECT_TRUE(diffflow);
+  EXPECT_TRUE(sprinklers);
+  EXPECT_TRUE(asym);
+  EXPECT_TRUE(oversub);
+  EXPECT_TRUE(mesh);
 }
 
 }  // namespace

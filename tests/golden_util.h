@@ -175,10 +175,13 @@ inline harness::RunResult golden_fig19_run() {
 /// flow sizes, Poisson arrivals, cross-rack receivers) shrunk to one seed
 /// and ~25 ms of measured time. Digest covers the mice-FCT sample stream,
 /// per-elephant throughput, telemetry counters, and the executed-event
-/// count — the full RNG draw order of the arrival processes.
-inline harness::RunResult golden_table1_run() {
+/// count — the full RNG draw order of the arrival processes. The scheme is
+/// a parameter so golden_scheme_test can pin one digest per registry rival;
+/// the default keeps the original Presto digest byte-identical.
+inline harness::RunResult golden_table1_run(
+    harness::Scheme scheme = harness::Scheme::kPresto) {
   harness::ExperimentConfig cfg;
-  cfg.scheme = harness::Scheme::kPresto;
+  cfg.scheme = scheme;
   cfg.seed = 7013;
   cfg.telemetry.metrics = true;
   harness::Experiment ex(cfg);
@@ -241,10 +244,12 @@ inline harness::RunResult golden_table1_run() {
 
 /// Miniature Figure 16: stride(8) mice-FCT run from bench/fig16_mice_fct.cc
 /// with one seed and a short window. Digest covers the mice FCT samples,
-/// timeout counter, telemetry, and executed events.
-inline harness::RunResult golden_fig16_run() {
+/// timeout counter, telemetry, and executed events. Scheme parameterized
+/// like golden_table1_run; default = the original Presto digest.
+inline harness::RunResult golden_fig16_run(
+    harness::Scheme scheme = harness::Scheme::kPresto) {
   harness::ExperimentConfig cfg;
-  cfg.scheme = harness::Scheme::kPresto;
+  cfg.scheme = scheme;
   cfg.seed = 3013;
   cfg.telemetry.metrics = true;
   harness::RunOptions opt;

@@ -12,6 +12,7 @@
 
 #include "check/shrink.h"
 #include "check/soak.h"
+#include "lb/registry.h"
 
 namespace presto::check {
 namespace {
@@ -271,6 +272,83 @@ TEST(Soak, DifferentialFlagsSchemeWithPlantedEater) {
     any_leak = any_leak || sr.outcome.has_kind(OracleKind::kLeak);
   }
   EXPECT_TRUE(any_leak) << res.report;
+}
+
+TEST(Soak, DifferentialAllSchemesSweepIsClean) {
+  // The registry-driven full sweep: every differential-safe scheme runs the
+  // same scenario in lock-step and must agree byte-for-byte at quiesce. New
+  // schemes join this test by registering — no soak change.
+  const Scenario sc = Scenario::generate(4);
+  SoakOptions opt;
+  DiffOptions dopt;
+  dopt.all_schemes = true;
+  const DiffResult res = run_differential_soak(sc, opt, dopt);
+  EXPECT_TRUE(res.ok) << res.report;
+  EXPECT_TRUE(res.disagreements.empty());
+
+  const std::vector<harness::Scheme> want =
+      lb::SchemeRegistry::instance().differential_schemes();
+  ASSERT_EQ(res.schemes_run.size(), want.size());
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    EXPECT_EQ(res.schemes_run[i], want[i]) << i;
+  }
+  const std::uint64_t bytes = res.per_scheme[0].epochs.back().delivered_bytes;
+  EXPECT_GT(bytes, 0u);
+  for (std::size_t i = 0; i < res.per_scheme.size(); ++i) {
+    EXPECT_EQ(res.per_scheme[i].epochs.back().delivered_bytes, bytes)
+        << lb::scheme_spec_id(res.schemes_run[i]);
+  }
+}
+
+TEST(Soak, DifferentialSeededDivergenceRecordsDisagreements) {
+  // Three congested elephants under zero tolerance: ECMP hash collisions
+  // put it measurably behind Presto at 5 ms epoch boundaries, and every
+  // flagged epoch lands in `disagreements` naming the laggard scheme.
+  Scenario sc;
+  sc.seed = 9;
+  sc.flows = {{0, 2, 8'000'000}, {1, 3, 8'000'000}, {4, 6, 8'000'000}};
+  sc.cap = 400 * sim::kMillisecond;
+  sc.hosts_per_leaf = 4;
+  SoakOptions opt;
+  opt.epoch_length = 5 * sim::kMillisecond;
+  opt.max_epochs = 10;
+  DiffOptions dopt;
+  dopt.schemes = {harness::Scheme::kPresto, harness::Scheme::kEcmp};
+  dopt.tolerance = 0.0;
+  dopt.min_gap_bytes = 1;
+  const DiffResult res = run_differential_soak(sc, opt, dopt);
+  ASSERT_FALSE(res.ok);
+  ASSERT_FALSE(res.disagreements.empty());
+  EXPECT_LE(res.disagreements.size(), DiffResult::kMaxDisagreements);
+  EXPECT_EQ(res.disagreements.front().epoch, res.divergence_epoch);
+  for (const Disagreement& d : res.disagreements) {
+    EXPECT_TRUE(d.scheme == "presto" || d.scheme == "ecmp") << d.scheme;
+    EXPECT_LT(d.delivered, d.best) << d.scheme << " epoch " << d.epoch;
+  }
+
+  // The disagreement ledger survives the manifest JSON round trip.
+  SoakManifest man;
+  man.scenario = sc.to_string();
+  man.epoch_length = opt.epoch_length;
+  for (harness::Scheme s : dopt.schemes) {
+    man.schemes.emplace_back(lb::scheme_spec_id(s));
+  }
+  man.status = "violation";
+  man.disagreements = res.disagreements;
+  const std::string path = temp_manifest_path("disagreements");
+  std::string err;
+  ASSERT_TRUE(man.save(path, &err)) << err;
+  SoakManifest back;
+  ASSERT_TRUE(SoakManifest::load(path, &back, &err)) << err;
+  std::remove(path.c_str());
+  ASSERT_EQ(back.disagreements.size(), man.disagreements.size());
+  for (std::size_t i = 0; i < man.disagreements.size(); ++i) {
+    EXPECT_EQ(back.disagreements[i].epoch, man.disagreements[i].epoch);
+    EXPECT_EQ(back.disagreements[i].scheme, man.disagreements[i].scheme);
+    EXPECT_EQ(back.disagreements[i].delivered,
+              man.disagreements[i].delivered);
+    EXPECT_EQ(back.disagreements[i].best, man.disagreements[i].best);
+  }
 }
 
 TEST(Soak, DifferentialZeroToleranceFlagsMidRunDivergence) {

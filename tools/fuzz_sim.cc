@@ -80,11 +80,11 @@ int usage(const char* argv0) {
       stderr,
       "usage: %s [--seed N | --seed-range A:B | --replay 'spec' | "
       "--resume MANIFEST]\n"
-      "          [--check all|conservation,tcp,gro,topology]\n"
+      "          [--check all|conservation,tcp,gro,topology,ordering]\n"
       "          [--bug eat:N|eat@Tus:N] [--repro-out PATH] [--no-shrink]\n"
       "          [--soak] [--epochs N] [--epoch-us T] [--epoch-events M]\n"
       "          [--audit-every N] [--leak-age-us T]\n"
-      "          [--diff-schemes a,b,c] [--manifest PATH]\n"
+      "          [--diff-schemes a,b,c|all] [--manifest PATH]\n"
       "          [--watchdog SECONDS] [--shrink-deadline-ms T] [-v]\n",
       argv0);
   return 2;
@@ -141,6 +141,7 @@ struct WatchdogScope {
 bool parse_check(const std::string& spec, CheckerOptions* opt) {
   if (spec == "all") return true;
   opt->conservation = opt->tcp = opt->gro = opt->topology = false;
+  opt->ordering = false;
   std::size_t pos = 0;
   while (pos <= spec.size()) {
     const std::size_t comma = spec.find(',', pos);
@@ -150,6 +151,7 @@ bool parse_check(const std::string& spec, CheckerOptions* opt) {
     else if (item == "tcp") opt->tcp = true;
     else if (item == "gro") opt->gro = true;
     else if (item == "topology") opt->topology = true;
+    else if (item == "ordering") opt->ordering = true;
     else return false;
     if (comma == std::string::npos) break;
     pos = comma + 1;
@@ -348,8 +350,10 @@ int run_diff_one(const Scenario& sc, const CheckerOptions& copt,
                  const Args& args) {
   SoakOptions opt = soak_options(args, copt);
   DiffOptions dopt;
-  if (!args.diff_schemes.empty() &&
-      !parse_schemes(args.diff_schemes, &dopt.schemes)) {
+  if (args.diff_schemes == "all") {
+    dopt.all_schemes = true;
+  } else if (!args.diff_schemes.empty() &&
+             !parse_schemes(args.diff_schemes, &dopt.schemes)) {
     std::fprintf(stderr, "bad --diff-schemes spec: %s\n",
                  args.diff_schemes.c_str());
     return 2;
@@ -368,6 +372,7 @@ int run_diff_one(const Scenario& sc, const CheckerOptions& copt,
     if (!res.per_scheme.empty()) man.epochs = res.per_scheme[0].epochs;
     man.status = res.ok ? "clean" : "violation";
     man.first_bad_epoch = res.divergence_epoch;
+    man.disagreements = res.disagreements;
     man.report = res.report;
     for (const SoakResult& sr : res.per_scheme) {
       if (!sr.outcome.ok) man.report += sr.outcome.report;
