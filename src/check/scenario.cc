@@ -97,6 +97,12 @@ harness::ExperimentConfig experiment_config(const Scenario& sc) {
   // same scenario now trips the checkpoint comparison.
   cfg.telemetry.fabric.monitors = true;
   cfg.telemetry.fabric.flush_period = 0;
+  if (sc.ctl.enabled) {
+    cfg.control_loop = sc.ctl;
+    // The loop stops rescheduling before the cap, so drain detection (and
+    // with it the liveness oracle) keeps working on closed-loop scenarios.
+    cfg.control_loop.stop_after = sc.cap;
+  }
   return cfg;
 }
 
@@ -170,6 +176,7 @@ std::string Scenario::to_string() const {
     }
     out += '\'';
   }
+  if (ctl.enabled) out += " ctl=" + ctl.spec();
   out += " bug=";
   append_list_or_dash(out, bug);
   return out;
@@ -291,6 +298,10 @@ bool Scenario::parse(const std::string& text, Scenario* out,
           if (bar == std::string::npos) break;
           pos = bar + 1;
         }
+      }
+    } else if (key == "ctl") {
+      if (!controller::ControlLoopConfig::parse(value, &sc.ctl)) {
+        return fail("bad ctl spec: " + value);
       }
     } else if (key == "bug") {
       if (value != "-") sc.bug = value;
@@ -419,6 +430,32 @@ Scenario Scenario::generate(std::uint64_t seed) {
         break;
     }
   }
+
+  // Closed-loop controller draw. A *separate* stream (not `rng`) so
+  // pre-existing seeds keep every draw above byte-identical — the soak and
+  // golden tiers pin expectations against generate()'s historic output.
+  // Values come from small discrete sets with the spec's printed precision,
+  // so the one-line `ctl=` token round-trips exactly.
+  sim::Rng ctl_rng(seed ^ 0xC71'0001'5EEDULL);
+  if (ctl_rng.below(4) == 0) {
+    sc.ctl.enabled = true;
+    constexpr sim::Time kPeriods[] = {5 * sim::kMillisecond,
+                                      10 * sim::kMillisecond,
+                                      20 * sim::kMillisecond};
+    constexpr double kGains[] = {0.25, 0.50, 0.75};
+    constexpr double kDeltas[] = {0.10, 0.25};
+    constexpr double kDeadbands[] = {0.010, 0.020, 0.050};
+    constexpr double kFloors[] = {0.010, 0.020};
+    constexpr std::uint32_t kHorizons[] = {0, 2, 4};
+    sc.ctl.period = kPeriods[ctl_rng.below(3)];
+    sc.ctl.gain = kGains[ctl_rng.below(3)];
+    sc.ctl.max_delta = kDeltas[ctl_rng.below(2)];
+    sc.ctl.deadband = kDeadbands[ctl_rng.below(3)];
+    sc.ctl.min_weight = kFloors[ctl_rng.below(2)];
+    sc.ctl.horizon = kHorizons[ctl_rng.below(3)];
+    sc.ctl.stale_after_periods =
+        2 + static_cast<std::uint32_t>(ctl_rng.below(3));
+  }
   return sc;
 }
 
@@ -468,6 +505,7 @@ std::uint64_t ScenarioRun::state_digest() {
   }
   chk_.digest_state(d);
   if (ex_.fabric_plane() != nullptr) ex_.fabric_plane()->digest_state(d);
+  if (ex_.control_loop() != nullptr) ex_.control_loop()->digest_state(d);
   d.mix(completed_);
   return d.value();
 }

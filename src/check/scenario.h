@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "check/oracle.h"
+#include "controller/control_loop.h"
 #include "harness/experiment.h"
 
 namespace presto::check {
@@ -58,6 +59,12 @@ struct Scenario {
   /// then up, degrade then heal) — so the shrinker can drop whole units
   /// without leaving a permanent fault behind.
   std::vector<std::string> fault_units;
+  /// Closed-loop controller re-weighting (DESIGN.md §17). Disabled (the
+  /// default) keeps the static controller, so every pre-existing spec and
+  /// pinned digest replays verbatim; the one-line spec carries it as a
+  /// `ctl=` token only when enabled. The experiment derives the loop's
+  /// stop_after from the scenario cap so capped runs still quiesce.
+  controller::ControlLoopConfig ctl;
   sim::Time cap = 20 * sim::kSecond;
   /// Test-only defect to plant. "eat:12" destroys the 12th data frame
   /// serialized anywhere in the fabric without any accounting (the

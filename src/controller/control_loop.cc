@@ -1,0 +1,441 @@
+#include "controller/control_loop.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+#include "controller/controller.h"
+#include "telemetry/fabric/plane.h"
+
+namespace presto::controller {
+namespace {
+
+// Congestion-score coefficients: drops dominate (a gray link's loss
+// signature must outweigh any queue signal), then queue depth, then
+// utilization above a 70% knee.
+constexpr double kDropCoeff = 40.0;
+constexpr double kDepthCoeff = 2.0;
+constexpr double kUtilCoeff = 3.0;
+constexpr double kUtilKnee = 0.7;
+
+// Cost-model coefficients (horizon_cost): expected loss per unit of weight
+// routed onto a lossy tree, quadratic control-effort penalty, and how hard
+// a tree's drop rate eats into its effective service capacity.
+constexpr double kLossCost = 50.0;
+constexpr double kEffortCost = 0.5;
+constexpr double kServiceDropPenalty = 4.0;
+// Mild pull toward the proactive uniform prior. Sized against kEffortCost
+// so that on a fabric with no congestion evidence the uniform-ward step
+// beats holding a skewed vector (pull * (2 - gain) > effort * gain for any
+// gain in (0, 1]) — without it an idle fabric would hold stale weights
+// forever, breaking healthy-fabric convergence.
+constexpr double kUniformPull = 0.25;
+
+constexpr std::size_t kMaxHistory = 4096;
+
+std::vector<double> uniform_weights(std::size_t n) {
+  return std::vector<double>(n, n == 0 ? 0.0 : 1.0 / static_cast<double>(n));
+}
+
+/// The floor actually enforceable for `n` trees (n * floor must stay <= 1).
+double effective_floor(double floor, std::size_t n) {
+  if (n == 0) return 0.0;
+  return std::min(std::max(floor, 0.0), 1.0 / static_cast<double>(n));
+}
+
+/// Normalizes non-negative `w` to sum 1 with every component >= `floor`
+/// (water-filling: floored components are pinned, the rest share the
+/// remaining mass proportionally). Terminates in <= n rounds.
+void normalize_with_floor(std::vector<double>& w, double floor) {
+  const std::size_t n = w.size();
+  if (n == 0) return;
+  double sum = 0;
+  for (double& v : w) {
+    v = std::max(v, 0.0);
+    sum += v;
+  }
+  if (sum <= 0) {
+    w = uniform_weights(n);
+    return;
+  }
+  for (double& v : w) v /= sum;
+  std::vector<bool> pinned(n, false);
+  for (std::size_t round = 0; round < n; ++round) {
+    std::size_t pinned_count = 0;
+    double free_sum = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (pinned[i]) {
+        ++pinned_count;
+      } else {
+        free_sum += w[i];
+      }
+    }
+    const double need =
+        1.0 - floor * static_cast<double>(pinned_count);
+    bool newly_pinned = false;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (pinned[i]) continue;
+      const double scaled = free_sum > 0
+                                ? w[i] / free_sum * need
+                                : need / static_cast<double>(n - pinned_count);
+      if (scaled < floor) {
+        pinned[i] = true;
+        w[i] = floor;
+        newly_pinned = true;
+      } else {
+        w[i] = scaled;
+      }
+    }
+    if (!newly_pinned) break;
+  }
+}
+
+/// One gain-scaled step from `prev` toward `target`, additionally scaled so
+/// no component moves by more than `max_delta`. Both inputs normalized; the
+/// result stays normalized (the step sums to zero) and each component stays
+/// between min(prev, target) and max(prev, target), so a floor respected by
+/// both endpoints is respected by the step.
+std::vector<double> clamped_step(const std::vector<double>& prev,
+                                 const std::vector<double>& target,
+                                 double alpha, double max_delta) {
+  const std::size_t n = prev.size();
+  std::vector<double> out(n);
+  double peak = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    peak = std::max(peak, alpha * std::abs(target[i] - prev[i]));
+  }
+  const double scale =
+      peak > max_delta && peak > 0 ? max_delta / peak : 1.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = prev[i] + alpha * scale * (target[i] - prev[i]);
+  }
+  return out;
+}
+
+/// The normalized desirability target the reactive pass steps toward.
+std::vector<double> congestion_target(const std::vector<TreeSignal>& signals,
+                                      const ControlLoopConfig& cfg) {
+  const std::size_t n = signals.size();
+  std::vector<double> target(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    target[i] = 1.0 / (1.0 + congestion_score(signals[i]));
+  }
+  normalize_with_floor(target, effective_floor(cfg.min_weight, n));
+  return target;
+}
+
+}  // namespace
+
+double congestion_score(const TreeSignal& s) {
+  return kDropCoeff * s.drop_rate + kDepthCoeff * s.depth_frac +
+         kUtilCoeff * std::max(0.0, s.util - kUtilKnee);
+}
+
+std::vector<double> reweight(const std::vector<double>& prev,
+                             const std::vector<TreeSignal>& signals,
+                             const ControlLoopConfig& cfg) {
+  if (prev.empty() || prev.size() != signals.size()) return prev;
+  return clamped_step(prev, congestion_target(signals, cfg), cfg.gain,
+                      cfg.max_delta);
+}
+
+double horizon_cost(const std::vector<double>& w,
+                    const std::vector<double>& prev,
+                    const std::vector<TreeSignal>& signals,
+                    const ControlLoopConfig& cfg) {
+  const std::size_t n = w.size();
+  if (n == 0 || signals.size() != n) return 0;
+  double load = 0;
+  std::vector<double> q(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    q[i] = signals[i].depth_frac;
+    load += signals[i].load_share;
+  }
+  double cost = 0;
+  for (std::uint32_t step = 0; step < cfg.horizon; ++step) {
+    for (std::size_t i = 0; i < n; ++i) {
+      // Service capacity normalized to 1 per tree per period; a lossy tree
+      // wastes capacity on retransmissions. Uniform weights on a healthy,
+      // fully loaded fabric are exactly neutral (arrival == service).
+      const double service = std::max(
+          0.05, 1.0 - std::min(0.95, kServiceDropPenalty *
+                                         signals[i].drop_rate));
+      const double arrival = load * w[i] * static_cast<double>(n);
+      q[i] = std::max(0.0, q[i] + arrival - service);
+      cost += q[i] * q[i] + kLossCost * w[i] * signals[i].drop_rate;
+    }
+  }
+  const double uniform = 1.0 / static_cast<double>(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double d = w[i] - prev[i];
+    cost += kEffortCost * d * d;
+    const double u = w[i] - uniform;
+    cost += kUniformPull * u * u;
+  }
+  return cost;
+}
+
+std::vector<double> predictive_refine(const std::vector<double>& base,
+                                      const std::vector<double>& prev,
+                                      const std::vector<TreeSignal>& signals,
+                                      const ControlLoopConfig& cfg) {
+  const std::size_t n = base.size();
+  if (cfg.horizon == 0 || n == 0 || signals.size() != n) return base;
+  const std::vector<double> target = congestion_target(signals, cfg);
+  std::vector<double> uniform = uniform_weights(n);
+  normalize_with_floor(uniform, effective_floor(cfg.min_weight, n));
+  // Candidate order is fixed and ties break toward the earlier entry, so
+  // the choice is deterministic. Every candidate is a clamped step from
+  // `prev`, so the per-period delta bound and the floor hold regardless of
+  // which one wins.
+  const std::vector<std::vector<double>> candidates = {
+      base,
+      prev,
+      clamped_step(prev, target, cfg.gain * 0.5, cfg.max_delta),
+      clamped_step(prev, target, std::min(1.0, cfg.gain * 2.0),
+                   cfg.max_delta),
+      clamped_step(prev, uniform, cfg.gain, cfg.max_delta),
+  };
+  std::size_t best = 0;
+  double best_cost = horizon_cost(candidates[0], prev, signals, cfg);
+  for (std::size_t c = 1; c < candidates.size(); ++c) {
+    const double cost = horizon_cost(candidates[c], prev, signals, cfg);
+    if (cost < best_cost) {
+      best = c;
+      best_cost = cost;
+    }
+  }
+  return candidates[best];
+}
+
+std::string ControlLoopConfig::spec() const {
+  char buf[160];
+  std::snprintf(buf, sizeof buf,
+                "p%" PRId64 ":g%.2f:d%.2f:b%.3f:f%.3f:h%u:a%u",
+                static_cast<std::int64_t>(period / sim::kMicrosecond), gain,
+                max_delta, deadband, min_weight, horizon,
+                stale_after_periods);
+  return buf;
+}
+
+bool ControlLoopConfig::parse(const std::string& text,
+                              ControlLoopConfig* out) {
+  ControlLoopConfig cfg;
+  long long period_us = 0;
+  unsigned horizon = 0, stale = 0;
+  if (std::sscanf(text.c_str(), "p%lld:g%lf:d%lf:b%lf:f%lf:h%u:a%u",
+                  &period_us, &cfg.gain, &cfg.max_delta, &cfg.deadband,
+                  &cfg.min_weight, &horizon, &stale) != 7) {
+    return false;
+  }
+  if (period_us <= 0 || cfg.gain < 0 || cfg.gain > 1 || cfg.max_delta <= 0 ||
+      cfg.max_delta > 1 || cfg.deadband < 0 || cfg.deadband > 1 ||
+      cfg.min_weight < 0 || cfg.min_weight > 0.5 || horizon > 64 ||
+      stale == 0 || stale > 64) {
+    return false;
+  }
+  cfg.enabled = true;
+  cfg.period = static_cast<sim::Time>(period_us) * sim::kMicrosecond;
+  cfg.horizon = horizon;
+  cfg.stale_after_periods = stale;
+  if (cfg.spec() != text) return false;
+  *out = cfg;
+  return true;
+}
+
+ControlLoop::ControlLoop(sim::Simulation& sim, Controller& ctl,
+                         telemetry::fabric::FabricPlane& plane,
+                         ControlLoopConfig cfg, std::uint64_t buffer_bytes)
+    : sim_(sim),
+      ctl_(ctl),
+      plane_(plane),
+      cfg_(cfg),
+      buffer_bytes_(buffer_bytes == 0 ? 1 : buffer_bytes),
+      weights_(uniform_weights(ctl.trees().size())),
+      last_pushed_(weights_) {}
+
+void ControlLoop::start() {
+  if (started_ || !cfg_.enabled || cfg_.period <= 0) return;
+  if (cfg_.stop_after > 0 && sim_.now() + cfg_.period >= cfg_.stop_after) {
+    return;
+  }
+  started_ = true;
+  sim_.schedule(cfg_.period, [this] { tick(); });
+}
+
+void ControlLoop::tick() {
+  ++ticks_;
+  // Ship this period's reports through the (faultable) control plane; they
+  // land after the plane's report delay, so the signals below reflect the
+  // previous rounds — one period of feedback latency, as on a real fabric.
+  plane_.flush_now();
+  const std::vector<TreeSignal> signals = gather_signals();
+  std::vector<double> next = reweight(weights_, signals, cfg_);
+  next = predictive_refine(next, weights_, signals, cfg_);
+  weights_ = std::move(next);
+  double diff = 0;
+  for (std::size_t i = 0; i < weights_.size(); ++i) {
+    diff = std::max(diff, std::abs(weights_[i] - last_pushed_[i]));
+  }
+  const bool push = !weights_.empty() && diff >= cfg_.deadband;
+  if (push) {
+    ctl_.set_tree_weights(weights_);
+    ctl_.request_weighted_push();
+    last_pushed_ = weights_;
+    ++pushes_;
+  } else {
+    ++damped_;
+  }
+  if (history_.size() < kMaxHistory) {
+    history_.push_back(HistoryEntry{sim_.now(), weights_, push});
+  }
+  if (cfg_.stop_after == 0 || sim_.now() + cfg_.period < cfg_.stop_after) {
+    sim_.schedule(cfg_.period, [this] { tick(); });
+  }
+}
+
+std::vector<TreeSignal> ControlLoop::gather_signals() {
+  using telemetry::fabric::kLabelBuckets;
+  using telemetry::fabric::kNonLabelBucket;
+  const std::vector<Tree>& trees = ctl_.trees();
+  const std::size_t n = trees.size();
+  std::vector<TreeSignal> sig(n);
+  if (n == 0) return sig;
+  const sim::Time now = sim_.now();
+  const sim::Time stale_after =
+      cfg_.period * static_cast<sim::Time>(cfg_.stale_after_periods);
+  // Minimum per-switch packet attempts before a drop ratio is trusted —
+  // one lost packet out of two is noise, not a gray link.
+  constexpr std::uint64_t kMinAttempts = 4;
+  std::vector<std::uint64_t> tx_b(n, 0);
+  plane_.collector().for_each_latest([&](std::uint32_t id,
+                                         const telemetry::fabric::
+                                             TelemetryReport& r) {
+    if (now - r.emitted_at > stale_after) {
+      // The switch's last accepted report predates the staleness window
+      // (dropped/duplicated frames leave the collector's state behind);
+      // acting on it would re-weight against a fabric that no longer
+      // exists, so its contribution is withheld this period.
+      ++stale_skips_;
+      return;
+    }
+    SwitchSnapshot& snap = snapshots_[id];
+    if (snap.tx_packets.empty()) {
+      snap.tx_packets.assign(kLabelBuckets, 0);
+      snap.tx_bytes.assign(kLabelBuckets, 0);
+      snap.drop_packets.assign(kLabelBuckets, 0);
+    }
+    if (r.seq > snap.seq) {
+      for (std::size_t b = 0; b < kLabelBuckets && b < n; ++b) {
+        if (b == kNonLabelBucket) continue;
+        // Reports are cumulative, so the delta against the previous
+        // accepted snapshot is this switch's window contribution.
+        const std::uint64_t d_tx = r.labels[b].tx_packets - snap.tx_packets[b];
+        const std::uint64_t d_dr =
+            r.labels[b].drop_packets - snap.drop_packets[b];
+        tx_b[b] += r.labels[b].tx_bytes - snap.tx_bytes[b];
+        // A tree is only as healthy as its sickest hop: score each tree by
+        // the worst per-switch loss ratio, not the fleet-wide sum — a gray
+        // leaf-spine link must not be averaged away by the healthy traffic
+        // every other switch carries on the same label.
+        const std::uint64_t attempts = d_tx + d_dr;
+        if (attempts >= kMinAttempts) {
+          sig[b].drop_rate = std::max(
+              sig[b].drop_rate,
+              static_cast<double>(d_dr) / static_cast<double>(attempts));
+        }
+      }
+      for (std::size_t b = 0; b < kLabelBuckets; ++b) {
+        snap.tx_packets[b] = r.labels[b].tx_packets;
+        snap.tx_bytes[b] = r.labels[b].tx_bytes;
+        snap.drop_packets[b] = r.labels[b].drop_packets;
+      }
+      snap.seq = r.seq;
+    }
+    // Queue/utilization gauges attach to the trees rooted at this switch
+    // (that is where asymmetric congestion pools on a Clos).
+    for (std::size_t t = 0; t < n; ++t) {
+      if (trees[t].spine != id) continue;
+      double depth = 0, util = 0;
+      for (const telemetry::fabric::PortReport& p : r.ports) {
+        depth = std::max(depth, p.queue_hwm_decayed /
+                                    static_cast<double>(buffer_bytes_));
+        util = std::max(util, p.util_ewma);
+      }
+      sig[t].depth_frac = std::max(sig[t].depth_frac, std::min(1.0, depth));
+      sig[t].util = std::max(sig[t].util, std::min(1.0, util));
+    }
+  });
+  std::uint64_t total_bytes = 0;
+  for (std::size_t t = 0; t < n; ++t) total_bytes += tx_b[t];
+  if (drop_hold_.size() != n) drop_hold_.assign(n, 0.0);
+  for (std::size_t t = 0; t < n; ++t) {
+    // Peak-hold with geometric decay: Gilbert-Elliott loss is bursty, and a
+    // period that happens to sample the good state must not bounce the tree
+    // straight back to full weight mid-outage. Decays to zero within a few
+    // periods of a heal, so the healthy-fabric convergence property holds.
+    drop_hold_[t] = std::max(sig[t].drop_rate, drop_hold_[t] * 0.6);
+    sig[t].drop_rate = drop_hold_[t];
+    sig[t].load_share =
+        total_bytes == 0 ? 0.0
+                         : static_cast<double>(tx_b[t]) /
+                               static_cast<double>(total_bytes);
+  }
+  return sig;
+}
+
+std::string ControlLoop::history_json() const {
+  std::string out = "{\"schema\":\"presto.schedule_history\",\"version\":1,";
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "\"period_us\":%" PRId64 ",",
+                static_cast<std::int64_t>(cfg_.period / sim::kMicrosecond));
+  out += buf;
+  std::snprintf(buf, sizeof buf,
+                "\"ticks\":%" PRIu64 ",\"pushes\":%" PRIu64
+                ",\"damped\":%" PRIu64 ",\"stale_skips\":%" PRIu64 ",",
+                ticks_, pushes_, damped_, stale_skips_);
+  out += buf;
+  out += "\"entries\":[";
+  for (std::size_t i = 0; i < history_.size(); ++i) {
+    const HistoryEntry& e = history_[i];
+    if (i > 0) out += ',';
+    std::snprintf(buf, sizeof buf, "{\"t_us\":%" PRId64 ",\"pushed\":%s,",
+                  static_cast<std::int64_t>(e.at / sim::kMicrosecond),
+                  e.pushed ? "true" : "false");
+    out += buf;
+    out += "\"weights\":[";
+    for (std::size_t w = 0; w < e.weights.size(); ++w) {
+      if (w > 0) out += ',';
+      std::snprintf(buf, sizeof buf, "%.4f", e.weights[w]);
+      out += buf;
+    }
+    out += "]}";
+  }
+  out += "]}";
+  return out;
+}
+
+void ControlLoop::digest_state(sim::Digest& d) const {
+  auto mix_double = [&d](double v) {
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &v, sizeof bits);
+    d.mix(bits);
+  };
+  d.mix(ticks_);
+  d.mix(pushes_);
+  d.mix(damped_);
+  d.mix(stale_skips_);
+  for (double w : weights_) mix_double(w);
+  for (double w : last_pushed_) mix_double(w);
+  for (double v : drop_hold_) mix_double(v);
+  d.mix(static_cast<std::uint64_t>(snapshots_.size()));
+  for (const auto& [id, snap] : snapshots_) {
+    d.mix(id);
+    d.mix(snap.seq);
+  }
+  d.mix(static_cast<std::uint64_t>(history_.size()));
+}
+
+}  // namespace presto::controller

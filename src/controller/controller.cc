@@ -1,8 +1,11 @@
 #include "controller/controller.h"
 
 #include <algorithm>
+#include <map>
+#include <utility>
 
 #include "controller/weights.h"
+#include "net/types.h"
 
 namespace presto::controller {
 
@@ -244,6 +247,11 @@ void Controller::build_schedules() {
       if (telem_ != nullptr) telem_->schedules_set->inc();
     }
   }
+  // The schedules just written are exactly f(no failures, current weights):
+  // seed the push memo so a later push with nothing changed (e.g. a flap
+  // that fully healed before its reactions fired) skips the recompute.
+  push_memo_key_ = push_memo_key();
+  has_push_memo_ = true;
 }
 
 Controller::FailureTimeline Controller::schedule_link_failure(
@@ -375,7 +383,25 @@ void Controller::set_pair_weights(net::HostId src, net::HostId dst,
   if (!labels.empty()) {
     maps_[src].set_schedule(dst, std::move(labels));
     if (telem_ != nullptr) telem_->schedules_set->inc();
+    // The map no longer matches f(failure set, weights): a later push must
+    // recompute even if the key is unchanged.
+    has_push_memo_ = false;
   }
+}
+
+void Controller::set_tree_weights(const std::vector<double>& tree_weights) {
+  if (tree_weights == tree_weights_) return;
+  tree_weights_ = tree_weights;
+  ++weights_epoch_;
+}
+
+std::uint64_t Controller::push_memo_key() const {
+  std::uint64_t k = net::mix64(0x5C4ED07E'5ULL ^ weights_epoch_);
+  for (const auto& [leaf, spine, group] : failed_) {
+    k = net::mix64(k ^ (static_cast<std::uint64_t>(leaf) << 40) ^
+                   (static_cast<std::uint64_t>(spine) << 20) ^ group);
+  }
+  return k;
 }
 
 void Controller::apply_ingress_reroute(net::SwitchId dead_leaf,
@@ -409,6 +435,22 @@ void Controller::push_weighted_schedules() {
                              failed_.size(), trees_.size());
     }
   }
+  const std::uint64_t key = push_memo_key();
+  if (has_push_memo_ && key == push_memo_key_) {
+    // The schedules are a pure function of (failure set, weights): equal
+    // key means the vSwitch maps already hold exactly what this push would
+    // write (a dropped push never reaches this point, and every computed
+    // push updates maps and memo together), so the recompute — previously
+    // re-run on every failure event even with the set unchanged — is a
+    // provable no-op.
+    ++push_recomputes_skipped_;
+    return;
+  }
+  ++push_recomputes_;
+  // Weighted interleave orders depend only on the (src leaf, dst leaf)
+  // pair, so each order is computed once per push, not once per host pair.
+  std::map<std::pair<net::SwitchId, net::SwitchId>, std::vector<std::size_t>>
+      orders;
   for (net::HostId src = 0; src < topo_.host_count(); ++src) {
     const net::SwitchId src_edge = topo_.host(src).edge_switch;
     core::LabelMap& map = maps_[src];
@@ -420,9 +462,38 @@ void Controller::push_weighted_schedules() {
                     at.edge_switch) != topo_.leaves().end();
       if (!on_leaf) continue;
       std::vector<net::MacAddr> labels;
-      for (const Tree& t : trees_) {
-        if (tree_alive(t, src_edge, at.edge_switch)) {
-          labels.push_back(label_for(dst, t));
+      if (tree_weights_.empty()) {
+        // Legacy pruned-uniform path: byte-identical to the pre-closed-loop
+        // behavior, so runs without a control loop replay verbatim.
+        for (const Tree& t : trees_) {
+          if (tree_alive(t, src_edge, at.edge_switch)) {
+            labels.push_back(label_for(dst, t));
+          }
+        }
+      } else {
+        auto [it, fresh] = orders.try_emplace({src_edge, at.edge_switch});
+        if (fresh) {
+          std::vector<double> w(trees_.size(), 0.0);
+          double alive_sum = 0;
+          for (std::size_t i = 0; i < trees_.size(); ++i) {
+            if (!tree_alive(trees_[i], src_edge, at.edge_switch)) continue;
+            w[i] = i < tree_weights_.size()
+                       ? std::max(0.0, tree_weights_[i])
+                       : 1.0;
+            alive_sum += w[i];
+          }
+          if (alive_sum <= 0) {
+            // Degenerate weights (all live trees at zero): fall back to a
+            // uniform spray rather than blackholing the pair.
+            for (std::size_t i = 0; i < trees_.size(); ++i) {
+              if (tree_alive(trees_[i], src_edge, at.edge_switch)) w[i] = 1.0;
+            }
+          }
+          it->second = interleave_schedule(weight_counts(w));
+        }
+        labels.reserve(it->second.size());
+        for (std::size_t tree_idx : it->second) {
+          labels.push_back(label_for(dst, trees_[tree_idx]));
         }
       }
       if (!labels.empty()) {
@@ -431,6 +502,8 @@ void Controller::push_weighted_schedules() {
       }
     }
   }
+  push_memo_key_ = key;
+  has_push_memo_ = true;
 }
 
 }  // namespace presto::controller

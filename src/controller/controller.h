@@ -122,6 +122,29 @@ class Controller {
   void set_pair_weights(net::HostId src, net::HostId dst,
                         const std::vector<double>& tree_weights);
 
+  /// Telemetry-driven per-tree weights applied to every pair on the next
+  /// weighted push (the closed control loop's channel into the schedule
+  /// computation). Empty = legacy uniform spray over the live trees.
+  /// Setting a vector that differs from the current one bumps the weights
+  /// epoch, invalidating the memoized push below; re-setting the identical
+  /// vector is a no-op, which is what makes duplicated control-loop pushes
+  /// idempotent end to end.
+  void set_tree_weights(const std::vector<double>& tree_weights);
+  const std::vector<double>& tree_weights() const { return tree_weights_; }
+
+  /// Fires a weighted-schedule push through the same faultable path a
+  /// failure reaction uses (ctl_fault delay/drop applies). The control
+  /// loop calls this after set_tree_weights().
+  void request_weighted_push() { fire_weighted_push(/*already_delayed=*/false); }
+
+  /// Schedule-recompute accounting for the (failure-set, weights-epoch)
+  /// memoization: a push whose key matches the state the vSwitch maps
+  /// already reflect skips the recompute entirely.
+  std::uint64_t schedule_recomputes() const { return push_recomputes_; }
+  std::uint64_t schedule_recomputes_skipped() const {
+    return push_recomputes_skipped_;
+  }
+
   /// True if the (leaf, spine, group) hop of tree `t` is marked failed for
   /// traffic between these leaves.
   bool tree_alive(const Tree& t, net::SwitchId src_leaf,
@@ -168,6 +191,11 @@ class Controller {
   /// Label carrying traffic for `dst` over tree `t` under the current mode.
   net::MacAddr label_for(net::HostId dst, const Tree& t) const;
 
+  /// Memoization key of the current (failure set, weights epoch) state.
+  /// push_weighted_schedules() is a pure function of exactly these inputs,
+  /// so a push whose key equals the last computed one is a no-op.
+  std::uint64_t push_memo_key() const;
+
   net::PortId leaf_uplink(net::SwitchId leaf, net::SwitchId spine,
                           std::uint32_t group) const;
   net::PortId spine_downlink(net::SwitchId spine, net::SwitchId leaf,
@@ -183,6 +211,17 @@ class Controller {
   std::optional<ControlFault> ctl_fault_;
   sim::Rng ctl_fault_rng_;
   const telemetry::ControllerProbes* telem_ = nullptr;
+  /// Closed-loop per-tree weights (empty = uniform legacy behavior).
+  std::vector<double> tree_weights_;
+  std::uint64_t weights_epoch_ = 0;
+  /// Memoized (failure set, weights epoch) key of the last *computed*
+  /// schedule push. Only a computed push updates it (a dropped push never
+  /// reaches the computation), so key equality proves the vSwitch maps
+  /// already reflect the current state.
+  std::uint64_t push_memo_key_ = 0;
+  bool has_push_memo_ = false;
+  std::uint64_t push_recomputes_ = 0;
+  std::uint64_t push_recomputes_skipped_ = 0;
 };
 
 }  // namespace presto::controller

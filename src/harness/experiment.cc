@@ -12,6 +12,7 @@ const char* scheme_name(Scheme s) { return lb::scheme_display_name(s); }
 
 Experiment::Experiment(ExperimentConfig cfg)
     : cfg_(std::move(cfg)), rng_(cfg_.seed) {
+  if (cfg_.control_loop.enabled) cfg_.telemetry.fabric.monitors = true;
   if (cfg_.telemetry.metrics || cfg_.telemetry.trace ||
       cfg_.telemetry.flight_recorder()) {
     telem_ = std::make_unique<telemetry::Session>(cfg_.telemetry);
@@ -77,7 +78,10 @@ Experiment::Experiment(ExperimentConfig cfg)
     ctl_->attach_telemetry(telem_->controller_probes());
   }
   ctl_->install();
-  if (cfg_.telemetry.fabric.monitors) {
+  if (cfg_.telemetry.fabric.monitors || cfg_.control_loop.enabled) {
+    // The closed loop is fed by the fabric monitors, so enabling it forces
+    // the plane on; the loop drives its own flush rounds, so the plane's
+    // periodic schedule (flush_period) may legitimately stay off.
     fabric_plane_ = std::make_unique<telemetry::fabric::FabricPlane>(
         sim_, cfg_.telemetry.fabric, cfg_.seed);
     for (net::SwitchId s = 0; s < topo_->switch_count(); ++s) {
@@ -85,6 +89,12 @@ Experiment::Experiment(ExperimentConfig cfg)
     }
     fabric_plane_->set_controller(ctl_.get());
     fabric_plane_->start();
+  }
+  if (cfg_.control_loop.enabled) {
+    control_loop_ = std::make_unique<controller::ControlLoop>(
+        sim_, *ctl_, *fabric_plane_, cfg_.control_loop,
+        cfg_.switch_buffer_bytes);
+    control_loop_->start();
   }
   if (!cfg_.fault_plan.empty() &&
       !lb::SchemeRegistry::instance().info(cfg_.scheme).single_switch) {

@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "controller/control_loop.h"
 #include "controller/controller.h"
 #include "core/flowcell_engine.h"
 #include "fault/fault_injector.h"
@@ -103,6 +104,12 @@ struct ExperimentConfig {
   /// Telemetry switches. Off by default: the probes cost nothing when no
   /// Session exists (every component holds a null probe pointer).
   telemetry::TelemetryConfig telemetry;
+
+  /// Closed-loop congestion-aware re-weighting (DESIGN.md §17). Disabled =
+  /// today's static controller, byte-identical to every pinned digest.
+  /// Enabling it forces the fabric telemetry plane on (the loop drives the
+  /// flushes itself, so `telemetry.fabric.flush_period` may stay 0).
+  controller::ControlLoopConfig control_loop;
   std::uint64_t seed = 1;
 };
 
@@ -205,6 +212,9 @@ class Experiment {
                                     : std::string{};
   }
 
+  /// Null unless cfg.control_loop.enabled.
+  controller::ControlLoop* control_loop() { return control_loop_.get(); }
+
  private:
   void build_hosts();
   std::unique_ptr<lb::SenderLb> make_lb(net::HostId h);
@@ -221,6 +231,7 @@ class Experiment {
   std::unique_ptr<net::Topology> topo_;
   std::unique_ptr<controller::Controller> ctl_;
   std::unique_ptr<telemetry::fabric::FabricPlane> fabric_plane_;
+  std::unique_ptr<controller::ControlLoop> control_loop_;
   std::unique_ptr<fault::FaultInjector> fault_;
   std::vector<std::unique_ptr<host::Host>> hosts_;
   std::vector<net::HostId> servers_;

@@ -46,6 +46,7 @@ class SprinklersLb final : public SenderLb {
       st.cursor = static_cast<std::size_t>(
           net::mix64(seg.flow.hash() ^ seed_) % sched->size());
       st.stripe_end_bytes = stripe_bytes(seg.flow, 0);
+      st.label = (*sched)[st.cursor % sched->size()];
     }
     if (seg.payload > 0 && !seg.is_retx) {
       if (st.dispatched_bytes >= st.stripe_end_bytes) st.rotate_pending = true;
@@ -57,11 +58,17 @@ class SprinklersLb final : public SenderLb {
         st.stripe_end_bytes =
             st.dispatched_bytes + stripe_bytes(seg.flow, st.stripe_index);
         st.rotate_pending = false;
+        st.label = (*sched)[st.cursor % sched->size()];
       }
       st.dispatched_bytes += seg.payload;
       st.dispatched_end_seq = std::max(st.dispatched_end_seq, seg.end_seq());
     }
-    seg.dst_mac = (*sched)[st.cursor % sched->size()];
+    // The label is resolved once per stripe (init/rotation) and pinned here,
+    // NOT re-read from the schedule per segment: a closed-loop re-weight push
+    // may rewrite the schedule mid-stripe, and re-resolving the cursor
+    // against a different-length vector would flip the path with bytes in
+    // flight — exactly the reorder the rotation gate exists to prevent.
+    seg.dst_mac = st.label;
     // Stable per stripe; receivers run stock GRO and ignore it.
     seg.flowcell_id = st.stripe_index + 1;
   }
@@ -110,6 +117,9 @@ class SprinklersLb final : public SenderLb {
   struct FlowState {
     bool initialized = false;
     std::size_t cursor = 0;
+    /// Label pinned for the current stripe (derived from cursor at each
+    /// rotation; excluded from digest_state so pre-loop digests hold).
+    net::MacAddr label = 0;
     std::uint64_t stripe_index = 0;
     std::uint64_t stripe_end_bytes = 0;   ///< Dispatch mark ending the stripe.
     std::uint64_t dispatched_bytes = 0;   ///< Total payload handed down.

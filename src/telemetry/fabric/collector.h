@@ -61,6 +61,26 @@ class FabricCollector {
   }
   std::size_t switch_count() const { return switches_.size(); }
 
+  /// Latest accepted report of a switch, or null before its first
+  /// acceptance.
+  const TelemetryReport* latest_report(std::uint32_t id) const {
+    const auto it = switches_.find(id);
+    return it == switches_.end() || !it->second.acct.has_report
+               ? nullptr
+               : &it->second.latest;
+  }
+
+  /// Visits every switch's latest accepted report in switch-id order
+  /// (deterministic traversal; switches that never reported are skipped).
+  /// The controller's closed-loop re-weighting pass consumes the reports
+  /// this way.
+  template <typename Fn>
+  void for_each_latest(Fn&& fn) const {
+    for (const auto& [id, st] : switches_) {
+      if (st.acct.has_report) fn(id, st.latest);
+    }
+  }
+
   /// Spray-imbalance index over the spanning-tree label groups:
   /// max/mean of per-label tx bytes across labels that carried traffic
   /// (1.0 = perfectly balanced, 0 when no label traffic yet).

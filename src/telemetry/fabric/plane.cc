@@ -36,10 +36,14 @@ void FabricPlane::start() {
 }
 
 void FabricPlane::tick() {
+  flush_now();
+  sim_.schedule(cfg_.flush_period, [this] { tick(); });
+}
+
+void FabricPlane::flush_now() {
   for (auto& [id, mon] : monitors_) {
     deliver(mon->snapshot(sim_.now()));
   }
-  sim_.schedule(cfg_.flush_period, [this] { tick(); });
 }
 
 void FabricPlane::deliver(TelemetryReport r) {

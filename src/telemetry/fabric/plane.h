@@ -54,6 +54,13 @@ class FabricPlane {
   /// Starts the periodic flush schedule (no-op when flush_period == 0).
   void start();
 
+  /// One flush round through the (faultable) control plane — every monitor
+  /// snapshots and the frames ride the ControlFault model — without
+  /// touching the periodic schedule. The controller's ControlLoop drives
+  /// collection this way so scenario runs can keep flush_period == 0 (and
+  /// with it, drain detection).
+  void flush_now();
+
   /// Synchronously snapshots every monitor into the collector (no control
   /// plane, no faults, no scheduled events).
   void collect_now();
